@@ -1,0 +1,193 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the individual design
+decisions the paper argues for:
+
+* **movement policy** — Eq. 1's cost-based i/e choice vs. forcing all
+  movements implicit or explicit;
+* **candidate pruning** — Rule 4's two-candidate restriction
+  (`A({o_l, o_r})`) vs. the full O(|A|·|O|) search it replaces: the
+  paper claims the pruned plan is as good while consulting far less;
+* **pipelining** — the §V-B inter-DBMS pipelines vs. a fully
+  materialized execution of the *same* plan;
+* **plan shape** — the paper's left-deep restriction vs. bushy trees
+  (its declared future work): bushy should never move more data and
+  can improve the schedule via parallel subtrees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.client import XDB
+from repro.core.timing import simulate_schedule
+from repro.workloads.tpch import query
+
+from conftest import systems_for
+
+
+def fresh_xdb(systems, **kwargs):
+    xdb = XDB(systems.deployment, **kwargs)
+    xdb.warm_metadata()
+    return xdb
+
+
+# -- movement policy ---------------------------------------------------------
+
+
+def run_movement_ablation():
+    systems = systems_for("TD1")
+    rows = []
+    for policy in ("cost", "implicit", "explicit"):
+        xdb = fresh_xdb(systems, movement_policy=policy)
+        for name in ("Q3", "Q5", "Q8"):
+            report = xdb.submit(query(name))
+            rows.append(
+                [
+                    name,
+                    policy,
+                    report.execution_seconds,
+                    report.plan.movement_counts().__str__(),
+                ]
+            )
+    return rows
+
+
+def test_ablation_movement_policy(benchmark, results_sink):
+    rows = benchmark.pedantic(run_movement_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["query", "policy", "exec_s", "movements"], rows
+    )
+    results_sink("ablation_movement_policy", "Movement policy\n" + table)
+
+    by_policy = {}
+    for name, policy, seconds, _ in rows:
+        by_policy.setdefault(policy, 0.0)
+        by_policy[policy] += seconds
+    # Forcing materialization everywhere is clearly the worst.
+    assert by_policy["explicit"] >= by_policy["implicit"]
+    assert by_policy["cost"] < by_policy["explicit"]
+    # FINDING: the cost-based Eq. 1 choice can trail the all-implicit
+    # policy slightly — Eq. 1 prices the operator-level hash-build
+    # benefit of materialization but not the schedule-level pipeline
+    # overlap it forfeits (the paper's formulation shares this blind
+    # spot: pipelining is cited qualitatively, not costed).
+    assert by_policy["cost"] <= by_policy["implicit"] * 1.35
+
+
+# -- Rule-4 candidate pruning ---------------------------------------------------
+
+
+def run_pruning_ablation():
+    systems = systems_for("TD3")  # 7 DBMSes: pruning matters most
+    rows = []
+    for pruned in (True, False):
+        xdb = fresh_xdb(systems, prune_candidates=pruned)
+        for name in ("Q5", "Q8"):
+            report = xdb.submit(query(name))
+            rows.append(
+                [
+                    name,
+                    "pruned" if pruned else "full",
+                    report.consultations,
+                    report.execution_seconds,
+                ]
+            )
+    return rows
+
+
+def test_ablation_candidate_pruning(benchmark, results_sink):
+    rows = benchmark.pedantic(run_pruning_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["query", "candidates", "consultations", "exec_s"], rows
+    )
+    results_sink("ablation_candidate_pruning", "Rule-4 pruning\n" + table)
+
+    records = {(r[0], r[1]): r for r in rows}
+    for name in ("Q5", "Q8"):
+        pruned = records[(name, "pruned")]
+        full = records[(name, "full")]
+        # Full search consults far more often...
+        assert full[2] > pruned[2] * 2
+        # ...without materially better plans (paper's |R|+|S| > max
+        # argument): pruned execution within 10% of the full search.
+        assert pruned[3] <= full[3] * 1.10
+
+
+# -- pipelining -----------------------------------------------------------------
+
+
+def run_pipelining_ablation():
+    systems = systems_for("TD1")
+    xdb = fresh_xdb(systems)
+    rows = []
+    for name in ("Q3", "Q5", "Q8"):
+        report = xdb.submit(query(name), cleanup=False)
+        try:
+            piped = report.schedule
+            frozen = simulate_schedule(
+                report.deployed,
+                xdb.connectors,
+                systems.deployment.network,
+                systems.deployment.client_node,
+                result_bytes=report.result.byte_size(),
+                pipelined=False,
+            )
+            rows.append(
+                [
+                    name,
+                    piped.execution_seconds,
+                    frozen.execution_seconds,
+                    frozen.execution_seconds / piped.execution_seconds,
+                ]
+            )
+        finally:
+            report.deployed.cleanup()
+    return rows
+
+
+def test_ablation_pipelining(benchmark, results_sink):
+    rows = benchmark.pedantic(run_pipelining_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["query", "pipelined_s", "materialized_s", "slowdown"], rows
+    )
+    results_sink("ablation_pipelining", "Inter-DBMS pipelining\n" + table)
+    for row in rows:
+        assert row[2] >= row[1]  # materialization never helps
+    # Pipelining provides a real benefit on at least one chained plan.
+    assert any(row[3] > 1.1 for row in rows)
+
+
+# -- plan shape --------------------------------------------------------------------
+
+
+def run_shape_ablation():
+    systems = systems_for("TD1")
+    rows = []
+    for shape in ("left-deep", "bushy"):
+        xdb = fresh_xdb(systems, plan_shape=shape)
+        for name in ("Q5", "Q8", "Q9"):
+            report = xdb.submit(query(name))
+            moved = sum(e.moved_rows or 0 for e in report.plan.edges)
+            rows.append(
+                [name, shape, report.execution_seconds, moved,
+                 report.plan.task_count()]
+            )
+    return rows
+
+
+def test_ablation_plan_shape(benchmark, results_sink):
+    rows = benchmark.pedantic(run_shape_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["query", "shape", "exec_s", "rows_moved", "tasks"], rows
+    )
+    results_sink("ablation_plan_shape", "Left-deep vs bushy\n" + table)
+
+    records = {(r[0], r[1]): r for r in rows}
+    for name in ("Q5", "Q8", "Q9"):
+        left_deep = records[(name, "left-deep")]
+        bushy = records[(name, "bushy")]
+        # Bushy must return the same results (checked by submit's
+        # machinery) and should not be substantially worse.
+        assert bushy[2] <= left_deep[2] * 1.5

@@ -1,0 +1,75 @@
+"""Figure 1 — the introduction's motivating measurement.
+
+TPC-H Q3 over distributed tables (TD1) at two scale factors: total
+execution time per system, decomposed into "actual execution" (white
+bar) and data movement to the mediator (shaded bar).  The paper's
+observation: Garlic spends ~85% and Presto ~97% of their time moving
+data; XDB's in-situ execution stays close to the actual execution time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.scenarios import sf_label
+from repro.workloads.tpch import query
+
+from conftest import systems_for
+
+SCALE_FACTORS = [0.002, 0.005]
+
+
+def run_fig01():
+    rows = []
+    for sf in SCALE_FACTORS:
+        systems = systems_for("TD1", scale_factor=sf)
+        records = systems.run_all(query("Q3"), "Q3")
+        for name in ("Garlic", "Presto", "XDB"):
+            record = records[name]
+            share = (
+                record.transfer_seconds / record.total_seconds
+                if record.total_seconds
+                else 0.0
+            )
+            rows.append(
+                [
+                    sf_label(sf),
+                    record.system,
+                    record.total_seconds,
+                    record.processing_seconds,
+                    record.transfer_seconds,
+                    f"{share:.0%}",
+                ]
+            )
+    return rows
+
+
+def test_fig01_intro(benchmark, results_sink):
+    rows = benchmark.pedantic(run_fig01, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "scale",
+            "system",
+            "total_s",
+            "actual_exec_s",
+            "data_movement_s",
+            "movement_share",
+        ],
+        rows,
+    )
+    results_sink("fig01_intro", "Figure 1 — Q3, TD1\n" + table)
+
+    # Shape assertions from the paper's narrative.
+    by_key = {(r[0], r[1]): r for r in rows}
+    for sf in SCALE_FACTORS:
+        label = sf_label(sf)
+        garlic = by_key[(label, "Garlic")]
+        presto = by_key[(label, "Presto(4w)")]
+        xdb = by_key[(label, "XDB")]
+        # Mediators spend most of their time on data movement...
+        assert garlic[4] > garlic[3]
+        assert presto[4] > presto[3]
+        # ...Presto's movement share exceeds Garlic's (JDBC)...
+        assert presto[4] > garlic[4]
+        # ...and XDB beats both outright.
+        assert xdb[2] < garlic[2]
+        assert xdb[2] < presto[2]

@@ -1,0 +1,60 @@
+"""Figures 9a–9c — overall runtime performance.
+
+All six cross-database queries × {XDB, Garlic, Presto(4w), Sclera} for
+each table distribution TD1–TD3 (Table III).  The paper reports XDB up
+to 4× faster than Garlic, 6× than Presto, and 30× than ScleraDB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.workloads.tpch import QUERIES, query
+
+from conftest import systems_for
+
+
+def run_distribution(td: str):
+    systems = systems_for(td)
+    rows = []
+    speedups = []
+    for name in sorted(QUERIES, key=lambda q: int(q[1:])):
+        records = systems.run_all(query(name), name)
+        xdb_seconds = records["XDB"].total_seconds
+        row = [name]
+        for system in ("XDB", "Garlic", "Presto", "Sclera"):
+            row.append(records[system].total_seconds)
+        for system in ("Garlic", "Presto", "Sclera"):
+            speedups.append(
+                (system, records[system].total_seconds / xdb_seconds)
+            )
+        rows.append(row)
+    return rows, speedups
+
+
+@pytest.mark.parametrize("td", ["TD1", "TD2", "TD3"])
+def test_fig09_overall(benchmark, results_sink, td):
+    rows, speedups = benchmark.pedantic(
+        run_distribution, args=(td,), rounds=1, iterations=1
+    )
+    table = format_table(
+        ["query", "XDB_s", "Garlic_s", "Presto4_s", "Sclera_s"], rows
+    )
+    maxima = {}
+    for system, factor in speedups:
+        maxima[system] = max(maxima.get(system, 0.0), factor)
+    summary = ", ".join(
+        f"XDB vs {system}: up to {factor:.1f}x"
+        for system, factor in sorted(maxima.items())
+    )
+    results_sink(
+        f"fig09_overall_{td.lower()}",
+        f"Figure 9 ({td}) — overall runtime, all queries\n{table}\n{summary}",
+    )
+
+    # Shape: XDB wins on every query under every distribution.
+    for row in rows:
+        assert row[1] == min(row[1:]), row
+    # Sclera pays the heaviest penalty on at least one query.
+    assert maxima["Sclera"] >= maxima["Garlic"]

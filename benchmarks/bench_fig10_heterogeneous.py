@@ -1,0 +1,67 @@
+"""Figure 10 — heterogeneous DBMSes (TD1).
+
+MariaDB for db2, Hive for db3, PostgreSQL for the rest; inter-DBMS
+communication falls back to ODBC/JDBC wrappers.  The paper observes
+XDB still outperforming a 4-worker Presto by ~2× on average — smaller
+than in the homogeneous setup because XDB's execution now depends on
+the weakest underlying engines.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.scenarios import HETEROGENEOUS_PROFILES
+from repro.workloads.tpch import QUERIES, query
+
+from conftest import systems_for
+
+
+def run_fig10():
+    hetero = systems_for(
+        "TD1", profiles=tuple(sorted(HETEROGENEOUS_PROFILES.items()))
+    )
+    homo = systems_for("TD1")
+    rows = []
+    for name in sorted(QUERIES, key=lambda q: int(q[1:])):
+        hetero_records = hetero.run_all(query(name), name)
+        homo_xdb = homo.run_all(query(name), name)["XDB"]
+        rows.append(
+            [
+                name,
+                hetero_records["XDB"].total_seconds,
+                hetero_records["Presto"].total_seconds,
+                hetero_records["Presto"].total_seconds
+                / hetero_records["XDB"].total_seconds,
+                homo_xdb.total_seconds,
+            ]
+        )
+    return rows
+
+
+def test_fig10_heterogeneous(benchmark, results_sink):
+    rows = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "query",
+            "XDB_hetero_s",
+            "Presto4_s",
+            "speedup",
+            "XDB_homogeneous_s",
+        ],
+        rows,
+    )
+    average = sum(row[3] for row in rows) / len(rows)
+    results_sink(
+        "fig10_heterogeneous",
+        "Figure 10 — heterogeneous engines (MariaDB db2, Hive db3)\n"
+        f"{table}\naverage XDB speedup vs Presto: {average:.1f}x",
+    )
+
+    # XDB wins on the vast majority of queries and by ~2x on average
+    # (Q8 may flip: its plan chains two Hive tasks, each paying Hive's
+    # large startup latency — the weakest-link effect of §VI-B).
+    wins = sum(1 for row in rows if row[1] < row[2])
+    assert wins >= len(rows) - 1
+    assert average > 1.5
+    # XDB is slower than with all-PostgreSQL engines.
+    assert sum(row[1] for row in rows) > sum(row[4] for row in rows)

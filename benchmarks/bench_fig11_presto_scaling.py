@@ -1,0 +1,71 @@
+"""Figure 11 — scaling Presto's workers vs. XDB's decentral execution.
+
+TD1; Presto with 2, 4, and 10 workers against XDB.  The paper's point:
+adding workers improves Presto's "actual" processing but its
+centralized data movement offsets the scale-out — total runtime stays
+nearly flat and never approaches XDB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_presto, run_xdb
+from repro.bench.reporting import format_table
+from repro.baselines.presto import PrestoSystem
+from repro.workloads.tpch import query
+
+from conftest import systems_for
+
+WORKERS = [2, 4, 10]
+QUERY_NAMES = ["Q3", "Q5", "Q8"]
+
+
+def run_fig11():
+    systems = systems_for("TD1")
+    deployment = systems.deployment
+    rows = []
+    for name in QUERY_NAMES:
+        xdb_record = run_xdb(deployment, query(name), name, xdb=systems.xdb)
+        entry = [name, xdb_record.total_seconds]
+        totals = {}
+        for workers in WORKERS:
+            presto = PrestoSystem(deployment, workers=workers)
+            presto.catalog.refresh()
+            record = run_presto(
+                deployment, query(name), name, system=presto
+            )
+            entry.append(record.total_seconds)
+            totals[workers] = record
+        rows.append((entry, totals))
+    return rows
+
+
+def test_fig11_presto_scaling(benchmark, results_sink):
+    rows = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    table = format_table(
+        ["query", "XDB_s"] + [f"Presto{w}w_s" for w in WORKERS],
+        [entry for entry, _ in rows],
+    )
+    results_sink(
+        "fig11_presto_scaling",
+        "Figure 11 — scaling Presto workers (TD1)\n" + table,
+    )
+
+    for entry, totals in rows:
+        xdb_seconds = entry[1]
+        presto_runs = entry[2:]
+        # Scaling out never lets Presto catch XDB.
+        assert all(xdb_seconds < seconds for seconds in presto_runs)
+        # Runtime is nearly flat: 5x the workers buys < 35% improvement
+        # because transfers dominate.
+        assert presto_runs[-1] > presto_runs[0] * 0.65
+        # The processing share does shrink with workers.
+        assert (
+            totals[10].extra["mediator_processing"]
+            <= totals[2].extra["mediator_processing"] + 1e-9
+        )
+        # Transfer time is worker-independent.
+        assert totals[10].transfer_seconds == pytest.approx(
+            totals[2].transfer_seconds, rel=0.05
+        )

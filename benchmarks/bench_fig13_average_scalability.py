@@ -1,0 +1,69 @@
+"""Figure 13 — average runtime over all queries when scaling the data.
+
+TD1, all six queries, increasing scale factors.  The paper reports XDB
+averaging ~4× over Presto and ~3× over Garlic across all scale factors,
+with runtime growth proportional to the intermediate data transferred.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.workloads.tpch import QUERIES, query
+
+from conftest import SWEEP_SFS, systems_for
+
+
+def run_fig13():
+    rows = []
+    for sf in SWEEP_SFS:
+        systems = systems_for("TD1", scale_factor=sf)
+        totals = {"XDB": 0.0, "Garlic": 0.0, "Presto": 0.0, "Sclera": 0.0}
+        moved_mb = 0.0
+        for name in QUERIES:
+            records = systems.run_all(query(name), name)
+            for system, record in records.items():
+                totals[system] += record.total_seconds
+            moved_mb += records["XDB"].megabytes_total
+        count = len(QUERIES)
+        rows.append(
+            [
+                sf,
+                totals["XDB"] / count,
+                totals["Garlic"] / count,
+                totals["Presto"] / count,
+                totals["Sclera"] / count,
+                totals["Garlic"] / totals["XDB"],
+                totals["Presto"] / totals["XDB"],
+                moved_mb,
+            ]
+        )
+    return rows
+
+
+def test_fig13_average_scalability(benchmark, results_sink):
+    rows = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "micro_sf",
+            "XDB_avg_s",
+            "Garlic_avg_s",
+            "Presto4_avg_s",
+            "Sclera_avg_s",
+            "garlic/xdb",
+            "presto/xdb",
+            "XDB_moved_MB",
+        ],
+        rows,
+    )
+    results_sink(
+        "fig13_average_scalability",
+        "Figure 13 — average runtime across all queries (TD1)\n" + table,
+    )
+
+    for row in rows:
+        # Average speedups in the paper's direction at every scale.
+        assert row[5] > 1.0  # Garlic slower on average
+        assert row[6] > 1.0  # Presto slower on average
+    # Intermediate data grows with sf and so does XDB's average runtime.
+    assert rows[-1][7] > rows[0][7]
+    assert rows[-1][1] > rows[0][1]

@@ -1,0 +1,57 @@
+"""Data-transfer cost in managed-cloud scenarios (§VI-C, Fig. 14).
+
+Compares the bytes shipped into the cloud when the query middleware
+(XDB) or mediator (Garlic/Presto) runs as a managed cloud service:
+
+* ONP — all DBMSes on-premise behind one LAN;
+* GEO — every DBMS in a different data center (WAN everywhere).
+
+Cloud vendors charge for ingress: XDB's in-situ execution keeps
+intermediates off the cloud entirely.
+"""
+
+from repro.bench.harness import build_systems
+from repro.bench.reporting import format_table, print_banner
+from repro.bench.scenarios import build_tpch_deployment
+from repro.workloads.tpch import query
+
+
+def main(scale_factor: float = 0.005) -> None:
+    rows = []
+    for name in ("Q3", "Q5", "Q9"):
+        onp_dep, _ = build_tpch_deployment(
+            "TD1", scale_factor, topology="onprem", middleware_site="cloud"
+        )
+        onp = build_systems(onp_dep)
+        onp_records = onp.run_all(query(name), name)
+
+        geo_dep, _ = build_tpch_deployment(
+            "TD1", scale_factor, topology="geo", middleware_site="cloud"
+        )
+        geo = build_systems(geo_dep)
+        geo_records = geo.run_all(query(name), name)
+
+        rows.append(
+            [
+                name,
+                onp_records["XDB"].megabytes_to_cloud,
+                geo_records["XDB"].megabytes_cross_site,
+                onp_records["Garlic"].megabytes_to_cloud,
+                onp_records["Presto"].megabytes_to_cloud,
+            ]
+        )
+
+    print_banner("MB transferred to/through the cloud (cf. Fig. 14)")
+    print(
+        format_table(
+            ["query", "XDB(ONP)", "XDB(GEO)", "Garlic", "Presto"], rows
+        )
+    )
+    print(
+        "\nXDB(ONP) ships only control messages and the final result;\n"
+        "the mediators centralize every intermediate relation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""TPC-H federation: XDB against the mediator baselines.
+
+Loads TPC-H data (micro scale factor) under table distribution TD1
+(Table III), runs a few of the paper's queries on all four systems, and
+prints a runtime/transfer comparison — a miniature of Figure 9.
+
+Usage::
+
+    python examples/tpch_federation.py [micro_sf]
+
+Default micro_sf = 0.005 (≈ a "sf 2.5" testbed).
+"""
+
+import sys
+
+from repro.bench.harness import build_systems
+from repro.bench.reporting import format_table, print_banner
+from repro.bench.scenarios import build_tpch_deployment
+from repro.workloads.tpch import QUERY_JOIN_COUNTS, query
+
+
+def main(scale_factor: float = 0.005) -> None:
+    print(f"generating TPC-H data at micro scale factor {scale_factor}...")
+    deployment, data = build_tpch_deployment("TD1", scale_factor)
+    print("row counts:", data.row_counts())
+
+    systems = build_systems(deployment)
+
+    rows = []
+    for name in ("Q3", "Q5", "Q10"):
+        print(f"running {name} ({QUERY_JOIN_COUNTS[name]} joins) "
+              "on all four systems...")
+        records = systems.run_all(query(name), name)
+        xdb = records["XDB"].total_seconds
+        for system, record in records.items():
+            rows.append(
+                [
+                    name,
+                    system,
+                    record.total_seconds,
+                    f"{record.total_seconds / xdb:.1f}x",
+                    record.megabytes_total,
+                ]
+            )
+
+    print_banner("runtime and data movement (cf. Fig. 9)")
+    print(
+        format_table(
+            ["query", "system", "total_s", "vs XDB", "moved_MB"], rows
+        )
+    )
+
+    print_banner("one delegation plan in detail")
+    report = systems.xdb.submit(query("Q5"))
+    print(report.describe())
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.005)

@@ -1,0 +1,47 @@
+"""repro — a reproduction of "In-Situ Cross-Database Query Processing"
+(XDB, ICDE 2023).
+
+Quickstart::
+
+    from repro import Deployment, XDB
+    from repro.relational.schema import Field, Schema
+    from repro.sql.types import INTEGER, varchar
+
+    dep = Deployment({"CDB": "postgres", "VDB": "mariadb"})
+    dep.load_table("CDB", "users",
+                   Schema([Field("id", INTEGER), Field("name", varchar())]),
+                   [(1, "ada"), (2, "grace")])
+    dep.load_table("VDB", "events",
+                   Schema([Field("user_id", INTEGER), Field("kind", varchar())]),
+                   [(1, "login"), (1, "query"), (2, "login")])
+
+    xdb = XDB(dep)
+    report = xdb.submit(
+        "SELECT u.name, COUNT(*) AS n FROM users u, events e "
+        "WHERE u.id = e.user_id GROUP BY u.name")
+    print(report.result.to_table())
+    print(report.plan.describe())
+
+Package map — see DESIGN.md for the full inventory:
+
+* :mod:`repro.sql` — SQL front end (lexer/parser/AST/dialect renderers)
+* :mod:`repro.relational` — schemas, expression compiler, logical algebra
+* :mod:`repro.engine` — the single-node DBMS (storage, planner, executor,
+  EXPLAIN, SQL/MED foreign tables)
+* :mod:`repro.net` — simulated network and transfer accounting
+* :mod:`repro.federation` — deployments of autonomous DBMSes
+* :mod:`repro.connect` — DBMS connectors (metadata / costing / DDL)
+* :mod:`repro.core` — **XDB**: the cross-database optimizer and the
+  delegation engine
+* :mod:`repro.baselines` — Garlic, Presto, and ScleraDB baselines
+* :mod:`repro.workloads` — TPC-H and the pandemic scenario
+* :mod:`repro.bench` — the experiment harness
+"""
+
+from repro.core.client import XDB, XDBReport
+from repro.engine.database import Database
+from repro.federation.deployment import Deployment
+
+__version__ = "1.0.0"
+
+__all__ = ["XDB", "XDBReport", "Database", "Deployment", "__version__"]

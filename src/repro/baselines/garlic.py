@@ -1,0 +1,21 @@
+"""Garlic-like baseline (§VI-A): a single-node PostgreSQL mediator.
+
+Follows the paper's implementation: the mediator connects to the
+sources through its SQL/MED capabilities with binary transfer, pushes
+selections, projections, and co-located joins down, and performs all
+cross-database operations itself.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mediator import MediatorSystem
+
+
+class GarlicSystem(MediatorSystem):
+    """Single-node mediator, binary protocol, co-located-join pushdown."""
+
+    name = "Garlic"
+    protocol = "binary"
+    pushdown_colocated_joins = True
+    mediator_profile = "postgres"
+    workers = 1

@@ -1,0 +1,39 @@
+"""Presto/Trino-like baseline (§VI-A): a scale-out MW system.
+
+Defining characteristics reproduced from the paper:
+
+* JDBC connectors — per-row text serialization makes the transfer
+  share *larger* than Garlic's despite the same logical data volume;
+* per-table pushdown only (filters/projections; never joins, even
+  co-located ones);
+* cross-database operators run on a W-worker mediator cluster —
+  scaling W speeds up the "actual" processing but does nothing for the
+  centralized data movement (the Fig. 11 effect).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mediator import MediatorSystem
+from repro.federation.deployment import Deployment
+
+
+class PrestoSystem(MediatorSystem):
+    """Scale-out mediator with JDBC connectors."""
+
+    name = "Presto"
+    protocol = "jdbc"
+    pushdown_colocated_joins = False
+    mediator_profile = "postgres"
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        workers: int = 4,
+        mediator_name: str = None,
+    ):
+        self.workers = workers
+        super().__init__(
+            deployment,
+            mediator_name=mediator_name or f"presto_mediator_{workers}w",
+        )
+        self.name = f"Presto({workers}w)"

@@ -1,0 +1,44 @@
+"""Terminal reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_banner(title: str) -> None:
+    rule = "=" * max(len(title), 8)
+    print(f"\n{rule}\n{title}\n{rule}")
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Fixed-width table rendering for paper-style outputs."""
+    rendered: List[List[str]] = [
+        [_fmt(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered))
+        if rendered
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

@@ -1,0 +1,60 @@
+"""Scenario builders for the evaluation experiments.
+
+The paper's testbed is reproduced as: one deployment per (table
+distribution × topology × engine mix), loaded with TPC-H data at a
+micro scale factor.  ``MICRO_SF`` maps the paper's sf 1/10/50/100 onto
+laptop-scale equivalents with identical relative scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.federation.deployment import Deployment
+from repro.workloads.tpch.distributions import databases_for, distribution
+from repro.workloads.tpch.generator import TPCHData, generate_cached
+
+#: paper scale factor -> micro scale factor used by the benchmarks
+MICRO_SF: Dict[int, float] = {1: 0.002, 10: 0.02, 50: 0.1, 100: 0.2}
+
+#: The heterogeneous mix of Fig. 10: MariaDB for db2, Hive for db3,
+#: PostgreSQL everywhere else.
+HETEROGENEOUS_PROFILES: Dict[str, str] = {"db2": "mariadb", "db3": "hive"}
+
+
+def sf_label(micro_sf: float) -> str:
+    """Human label mapping a micro sf back to the paper's scale."""
+    for paper_sf, micro in MICRO_SF.items():
+        if abs(micro - micro_sf) < 1e-12:
+            return f"sf{paper_sf}"
+    return f"micro-sf {micro_sf}"
+
+
+def build_tpch_deployment(
+    td: str = "TD1",
+    scale_factor: float = 0.002,
+    topology: str = "onprem",
+    profiles: Optional[Dict[str, str]] = None,
+    seed: int = 19921,
+    middleware_site: Optional[str] = None,
+) -> Tuple[Deployment, TPCHData]:
+    """Create a deployment for table distribution ``td`` and load data.
+
+    ``profiles`` overrides engine vendors per database name (default:
+    PostgreSQL everywhere, the paper's homogeneous setup).
+    ``middleware_site="cloud"`` reproduces the §VI-C managed-cloud
+    scenario for the data-transfer experiments.
+    """
+    placement = distribution(td)
+    db_names = databases_for(td)
+    vendor = {name: "postgres" for name in db_names}
+    if profiles:
+        vendor.update(
+            {k: v for k, v in profiles.items() if k in vendor}
+        )
+    deployment = Deployment(
+        vendor, topology=topology, middleware_site=middleware_site
+    )
+    data = generate_cached(scale_factor, seed)
+    deployment.load_distribution(placement, data.tables)
+    return deployment, data

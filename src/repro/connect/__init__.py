@@ -1,0 +1,12 @@
+"""DBMS connectors (the paper's "DCs").
+
+Connectors are the only channel between the XDB middleware (and the
+mediator baselines) and the underlying databases: they render statements
+in each DBMS's dialect, ship them as control messages over the simulated
+network, and wrap EXPLAIN into calibrated costing functions for the
+optimizer's consulting step.
+"""
+
+from repro.connect.connector import CalibratedExplain, DBMSConnector
+
+__all__ = ["CalibratedExplain", "DBMSConnector"]

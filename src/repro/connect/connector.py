@@ -1,0 +1,230 @@
+"""The DBMS connector: XDB's only handle on an underlying database.
+
+Responsibilities (paper §III–§V):
+
+* metadata — list relations, schemas, and statistics for the global
+  catalog (the "prep" phase of the breakdown experiment);
+* costing — wrap EXPLAIN-like statements into calibrated costing
+  functions for the annotator's consulting approach (§IV-B2); every
+  call counts as one consultation round-trip;
+* delegation — render DDL in the DBMS's own dialect and ship it as a
+  control message;
+* execution — submit the final XDB query (or, for the mediator
+  baselines, fetch subquery results into the mediator node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.engine.catalog import BaseTable
+from repro.engine.database import Database
+from repro.engine.fdw import PROTOCOL_FACTORS
+from repro.engine.result import Result
+from repro.engine.stats import TableStats
+from repro.errors import ConnectorError
+from repro.net.network import Network
+from repro.relational.schema import Schema
+from repro.sql import ast
+from repro.sql.render import render
+
+
+@dataclass(frozen=True)
+class CalibratedExplain:
+    """A remote cost estimate aligned to the common currency (seconds)."""
+
+    estimated_rows: float
+    cost_seconds: float
+    row_width: int
+    plan_text: str
+
+
+class DBMSConnector:
+    """Connector between the middleware node and one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        network: Network,
+        middleware_node: str,
+        protocol: str = "binary",
+    ):
+        if protocol not in PROTOCOL_FACTORS:
+            raise ConnectorError(f"unknown wire protocol {protocol!r}")
+        self.database = database
+        self.network = network
+        self.middleware_node = middleware_node
+        self.protocol = protocol
+        #: EXPLAIN consulting round-trips (paper's ann-phase metric)
+        self.consultations = 0
+        #: delegation / metadata control messages
+        self.control_messages = 0
+
+    @property
+    def name(self) -> str:
+        return self.database.name
+
+    @property
+    def node(self) -> str:
+        return self.database.node
+
+    @property
+    def profile(self):
+        return self.database.profile
+
+    def reset_counters(self) -> None:
+        self.consultations = 0
+        self.control_messages = 0
+
+    # -- metadata ---------------------------------------------------------------
+
+    def _control(self, tag: str) -> None:
+        self.control_messages += 1
+        self.network.record_control_message(
+            self.middleware_node, self.node, tag=tag
+        )
+        self.network.record_control_message(
+            self.node, self.middleware_node, tag=tag
+        )
+
+    def list_tables(self) -> Dict[str, Schema]:
+        """Names and schemas of the database's stored tables."""
+        self._control("metadata")
+        return {
+            table.name: table.schema
+            for table in self.database.catalog.tables()
+            if not table.temporary
+        }
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        self._control("metadata")
+        return self.database.table_stats(name)
+
+    def table_rows(self, name: str) -> float:
+        stats = self.database.table_stats(name)
+        if stats is None:
+            raise ConnectorError(
+                f"no statistics for table {name!r} on {self.name}"
+            )
+        return float(stats.row_count)
+
+    # -- costing (the consulting approach) ---------------------------------------
+
+    def explain(self, query: ast.Select) -> CalibratedExplain:
+        """One consultation round-trip: remote EXPLAIN, calibrated."""
+        self.consultations += 1
+        self._control("consult")
+        info = self.database.explain_select(query)
+        return CalibratedExplain(
+            estimated_rows=info.estimated_rows,
+            cost_seconds=self.profile.cost_to_seconds(info.total_cost),
+            row_width=info.row_width,
+            plan_text=info.plan_text,
+        )
+
+    def estimate_join_cost(
+        self,
+        local_rows: float,
+        moved_rows: float,
+        output_rows: float,
+        materialized: bool,
+    ) -> float:
+        """Costing function for a cross-database join at this DBMS.
+
+        This is the connector-provided costing function of §IV-B2 (the
+        "consulting approach", wrapping the engine's EXPLAIN machinery):
+        one call = one consultation round-trip.
+
+        With an *implicit* (pipelined) input the DBMS cannot hash the
+        stream — it must build on its local input and probe with the
+        arriving tuples.  With an *explicit* (materialized) input it
+        pays fetch + load + rescan but can build the hash table on the
+        smaller side (the paper's "DBMS-specific optimizations").
+        Returns calibrated seconds.
+        """
+        self.consultations += 1
+        self._control("consult")
+        profile = self.profile
+        fetch = moved_rows * profile.foreign_fetch_cost_per_row
+        if materialized:
+            load = moved_rows * profile.seq_scan_cost_per_row
+            rescan = moved_rows * profile.seq_scan_cost_per_row
+            build = min(local_rows, moved_rows) * (
+                profile.hash_build_cost_per_row
+            )
+            probe = max(local_rows, moved_rows) * profile.cpu_tuple_cost
+            setup = profile.startup_cost * 5 + 200.0
+            units = fetch + load + rescan + build + probe + setup
+        else:
+            build = local_rows * profile.hash_build_cost_per_row
+            probe = moved_rows * profile.cpu_tuple_cost
+            units = fetch + build + probe
+        units += output_rows * profile.cpu_tuple_cost
+        return profile.cost_to_seconds(units)
+
+    # -- delegation ----------------------------------------------------------------
+
+    def execute_ddl(self, statement: ast.Statement) -> Result:
+        """Render ``statement`` in the DBMS's dialect and execute it."""
+        sql = render(statement, self.database.dialect)
+        self._control("delegation")
+        return self.database.execute(sql)
+
+    def execute_sql(self, sql: str) -> Result:
+        self._control("delegation")
+        return self.database.execute(sql)
+
+    # -- execution / data movement ----------------------------------------------------
+
+    def run_query(self, query: ast.Select, client_node: str) -> Result:
+        """Run a final query; the result travels DBMS → client."""
+        result = self.database.execute_select(query)
+        self.network.record_transfer(
+            src=self.node,
+            dst=client_node,
+            payload_bytes=int(
+                result.byte_size() * PROTOCOL_FACTORS[self.protocol]
+            ),
+            rows=len(result),
+            tag="result",
+            protocol=self.protocol,
+        )
+        return result
+
+    def fetch(self, query: ast.Select, tag: str = "mediator-fetch") -> Result:
+        """Fetch a subquery result into the middleware node (MW path)."""
+        result = self.database.execute_select(query)
+        self.network.record_transfer(
+            src=self.node,
+            dst=self.middleware_node,
+            payload_bytes=int(
+                result.byte_size() * PROTOCOL_FACTORS[self.protocol]
+            ),
+            rows=len(result),
+            tag=tag,
+            protocol=self.protocol,
+        )
+        return result
+
+    def push_rows(
+        self,
+        table_name: str,
+        schema: Schema,
+        rows: List[tuple],
+        tag: str = "mediator-ship",
+    ) -> None:
+        """Ship rows from the middleware into a (temp) table (MW path)."""
+        self.network.record_transfer(
+            src=self.middleware_node,
+            dst=self.node,
+            payload_bytes=int(
+                schema.row_width()
+                * len(rows)
+                * PROTOCOL_FACTORS[self.protocol]
+            ),
+            rows=len(rows),
+            tag=tag,
+            protocol=self.protocol,
+        )
+        self.database.create_table(table_name, schema, rows, replace=True)

@@ -1,0 +1,27 @@
+"""XDB: the in-situ cross-database query processing middleware.
+
+The package implements the paper's two core components:
+
+* the **cross-database optimizer** — logical optimization
+  (:mod:`repro.core.logical`), plan annotation with Rules 1–4 and the
+  consulting cost model (:mod:`repro.core.annotate`), and plan
+  finalization into tasks (:mod:`repro.core.finalize`);
+* the **delegation engine** (:mod:`repro.core.delegate`) — Algorithm 1,
+  which rewrites a delegation plan into dialect-specific SQL/MED DDL and
+  returns the *XDB query* that triggers the decentralized execution.
+
+:class:`repro.core.client.XDB` is the user-facing facade gluing the
+phases together and reporting the per-phase breakdown of §VI-E.
+"""
+
+from repro.core.client import PreparedQuery, XDB, XDBReport
+from repro.core.plan import DelegationPlan, Movement, Task
+
+__all__ = [
+    "DelegationPlan",
+    "Movement",
+    "PreparedQuery",
+    "Task",
+    "XDB",
+    "XDBReport",
+]

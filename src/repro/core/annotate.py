@@ -1,0 +1,326 @@
+"""Phase 2 — plan annotation (§IV-B2, Rules 1–4).
+
+A depth-first post-order traversal assigns every operator a DBMS
+annotation and every edge a dataflow type:
+
+* **Rule 1** — table scans are annotated with the DBMS holding the table;
+* **Rule 2** — unary operators inherit their input's annotation
+  (implicit edge);
+* **Rule 3** — binary operators whose inputs share an annotation
+  inherit it (implicit edges);
+* **Rule 4** — for cross-database binary operators, solve Eq. 1:
+  ``argmin cost(o, a) + cost(o_l →x o, a) + cost(o_r →x o, a)``
+  over ``a ∈ A({o_l, o_r})`` (the paper's pruning — a third DBMS is
+  never considered, Fig. 5c) and ``x ∈ {i, e}``.
+
+Costs come from the *consulting approach*: the connectors' costing
+functions (wrapping EXPLAIN) are probed per candidate — four options
+per cross-database join under the default pruning, so consultation
+round-trips stay linear in the number of cross-database operators
+(§VI-E).
+
+Ablation knobs (exercised by ``benchmarks/bench_ablation_*``):
+
+* ``movement_policy`` — ``"cost"`` (Eq. 1, default), ``"implicit"``
+  (always pipeline), or ``"explicit"`` (always materialize, the
+  Sclera-style strategy);
+* ``prune_candidates`` — when False, Rule 4 considers *every* DBMS as
+  a placement candidate (the O(|A|·|O|) alternative the paper prunes),
+  moving both inputs when a third DBMS wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.connect.connector import DBMSConnector
+from repro.core.plan import Movement
+from repro.engine.fdw import PROTOCOL_FACTORS
+from repro.errors import OptimizerError
+from repro.federation.deployment import protocol_between
+from repro.net.network import Network
+from repro.relational import algebra
+
+MOVEMENT_POLICIES = ("cost", "implicit", "explicit")
+
+
+@dataclass
+class Annotation:
+    """The annotator's output: per-node DBMS and per-edge movement."""
+
+    #: id(node) -> DBMS name
+    node_db: Dict[int, str] = field(default_factory=dict)
+    #: (id(child), id(parent)) -> Movement
+    edge_move: Dict[Tuple[int, int], Movement] = field(default_factory=dict)
+    #: consultation round-trips performed (§VI-E metric)
+    consultations: int = 0
+    #: Rule-4 decisions, for tests/inspection: id(join) -> decision
+    decisions: Dict[int, "PlacementDecision"] = field(default_factory=dict)
+
+    def db_of(self, node: algebra.LogicalPlan) -> str:
+        try:
+            return self.node_db[id(node)]
+        except KeyError:
+            raise OptimizerError(
+                f"node {type(node).__name__} was never annotated"
+            )
+
+    def move_of(
+        self, child: algebra.LogicalPlan, parent: algebra.LogicalPlan
+    ) -> Movement:
+        return self.edge_move[(id(child), id(parent))]
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """One evaluated Rule-4 alternative set (for observability)."""
+
+    chosen_db: str
+    left_movement: Movement
+    right_movement: Movement
+    #: (db, "left_move/right_move", seconds) per evaluated alternative
+    costs: Tuple[Tuple[str, str, float], ...]
+
+    @property
+    def chosen_movement(self) -> Movement:
+        """The strongest movement used by any moving input."""
+        if Movement.EXPLICIT in (self.left_movement, self.right_movement):
+            return Movement.EXPLICIT
+        return Movement.IMPLICIT
+
+
+class PlanAnnotator:
+    """Runs the annotation traversal over an optimized logical plan."""
+
+    def __init__(
+        self,
+        connectors: Mapping[str, DBMSConnector],
+        network: Network,
+        movement_policy: str = "cost",
+        prune_candidates: bool = True,
+    ):
+        if movement_policy not in MOVEMENT_POLICIES:
+            raise OptimizerError(
+                f"unknown movement policy {movement_policy!r}; "
+                f"expected one of {MOVEMENT_POLICIES}"
+            )
+        self._connectors = dict(connectors)
+        self._network = network
+        self._movement_policy = movement_policy
+        self._prune_candidates = prune_candidates
+
+    def annotate(self, plan: algebra.LogicalPlan) -> Annotation:
+        annotation = Annotation()
+        self._visit(plan, annotation)
+        return annotation
+
+    # -- traversal -------------------------------------------------------------
+
+    def _visit(
+        self, node: algebra.LogicalPlan, annotation: Annotation
+    ) -> str:
+        children = node.children()
+
+        if isinstance(node, algebra.Scan):
+            if node.source_db is None:
+                raise OptimizerError(
+                    f"scan of {node.table!r} lacks a source DBMS "
+                    "(Rule 1 needs the global catalog annotation)"
+                )
+            annotation.node_db[id(node)] = node.source_db
+            return node.source_db
+
+        if len(children) == 1:
+            child_db = self._visit(children[0], annotation)
+            annotation.node_db[id(node)] = child_db
+            annotation.edge_move[(id(children[0]), id(node))] = (
+                Movement.IMPLICIT
+            )
+            return child_db
+
+        if isinstance(node, (algebra.Join, algebra.Union)):
+            left_db = self._visit(node.left, annotation)
+            right_db = self._visit(node.right, annotation)
+            if left_db == right_db:
+                # Rule 3.
+                annotation.node_db[id(node)] = left_db
+                annotation.edge_move[(id(node.left), id(node))] = (
+                    Movement.IMPLICIT
+                )
+                annotation.edge_move[(id(node.right), id(node))] = (
+                    Movement.IMPLICIT
+                )
+                return left_db
+            return self._rule4(node, left_db, right_db, annotation)
+
+        raise OptimizerError(
+            f"cannot annotate node {type(node).__name__} with "
+            f"{len(children)} children"
+        )
+
+    # -- Rule 4 ---------------------------------------------------------------
+
+    def _candidate_dbs(self, left_db: str, right_db: str) -> List[str]:
+        if self._prune_candidates:
+            ordered = [left_db, right_db]
+        else:
+            # Unpruned search space: any DBMS may host the operator.
+            ordered = [left_db, right_db]
+            ordered.extend(
+                name for name in self._connectors if name not in ordered
+            )
+        # Topology constraint (§IV-B2): every moving input must be able
+        # to reach the candidate over the (possibly restricted) network.
+        reachable = [
+            target
+            for target in ordered
+            if all(
+                source == target
+                or self._network.is_reachable(
+                    self._connectors[source].node,
+                    self._connectors[target].node,
+                )
+                for source in (left_db, right_db)
+            )
+        ]
+        if not reachable:
+            raise OptimizerError(
+                f"no reachable placement for a join over {left_db!r} and "
+                f"{right_db!r} under the current network topology"
+            )
+        return reachable
+
+    def _movement_options(self) -> Tuple[Movement, ...]:
+        if self._movement_policy == "implicit":
+            return (Movement.IMPLICIT,)
+        if self._movement_policy == "explicit":
+            return (Movement.EXPLICIT,)
+        return (Movement.IMPLICIT, Movement.EXPLICIT)
+
+    def _rule4(
+        self,
+        join,  # binary operator: algebra.Join or algebra.Union
+        left_db: str,
+        right_db: str,
+        annotation: Annotation,
+    ) -> str:
+        left_rows = _rows(join.left)
+        right_rows = _rows(join.right)
+        out_rows = _rows(join)
+
+        evaluated: List[Tuple[str, str, float]] = []
+        best: Optional[
+            Tuple[float, str, Movement, Movement]
+        ] = None
+
+        for target_db in self._candidate_dbs(left_db, right_db):
+            connector = self._connectors[target_db]
+            # Each input either sits on the target already (implicit,
+            # free) or must move with a chosen movement type.
+            left_options = self._input_options(
+                join.left, left_rows, left_db, target_db
+            )
+            right_options = self._input_options(
+                join.right, right_rows, right_db, target_db
+            )
+            for left_move, left_move_cost in left_options:
+                for right_move, right_move_cost in right_options:
+                    moved_rows = 0.0
+                    local_rows = 0.0
+                    materialized = True
+                    if left_db != target_db:
+                        moved_rows += left_rows
+                        materialized = (
+                            materialized
+                            and left_move is Movement.EXPLICIT
+                        )
+                    else:
+                        local_rows += left_rows
+                    if right_db != target_db:
+                        moved_rows += right_rows
+                        materialized = (
+                            materialized
+                            and right_move is Movement.EXPLICIT
+                        )
+                    else:
+                        local_rows += right_rows
+                    if local_rows == 0.0:
+                        # Third-DBMS placement: treat the larger moved
+                        # input as the local build side surrogate.
+                        local_rows = max(left_rows, right_rows)
+                        moved_rows = min(left_rows, right_rows)
+                    exec_seconds = connector.estimate_join_cost(
+                        local_rows=local_rows,
+                        moved_rows=moved_rows,
+                        output_rows=out_rows,
+                        materialized=materialized,
+                    )
+                    annotation.consultations += 1
+                    total = exec_seconds + left_move_cost + right_move_cost
+                    evaluated.append(
+                        (
+                            target_db,
+                            f"l:{left_move.value} r:{right_move.value}",
+                            total,
+                        )
+                    )
+                    if best is None or total < best[0]:
+                        best = (total, target_db, left_move, right_move)
+
+        assert best is not None
+        _, chosen_db, left_move, right_move = best
+        annotation.node_db[id(join)] = chosen_db
+        annotation.edge_move[(id(join.left), id(join))] = left_move
+        annotation.edge_move[(id(join.right), id(join))] = right_move
+        annotation.decisions[id(join)] = PlacementDecision(
+            chosen_db=chosen_db,
+            left_movement=left_move,
+            right_movement=right_move,
+            costs=tuple(evaluated),
+        )
+        return chosen_db
+
+    def _input_options(
+        self,
+        node: algebra.LogicalPlan,
+        rows: float,
+        source_db: str,
+        target_db: str,
+    ) -> List[Tuple[Movement, float]]:
+        """(movement, move-cost) alternatives for one join input."""
+        if source_db == target_db:
+            return [(Movement.IMPLICIT, 0.0)]
+        move_seconds = self._move_seconds(source_db, target_db, node, rows)
+        return [
+            (movement, move_seconds)
+            for movement in self._movement_options()
+        ]
+
+    def _move_seconds(
+        self,
+        source_db: str,
+        target_db: str,
+        moving_node: algebra.LogicalPlan,
+        moving_rows: float,
+    ) -> float:
+        source = self._connectors[source_db]
+        target = self._connectors[target_db]
+        protocol = protocol_between(
+            source.profile.name, target.profile.name
+        )
+        payload = int(
+            moving_rows
+            * moving_node.schema.row_width()
+            * PROTOCOL_FACTORS[protocol]
+        )
+        return self._network.transfer_time(source.node, target.node, payload)
+
+
+def _rows(node: algebra.LogicalPlan) -> float:
+    if node.estimated_rows is None:
+        raise OptimizerError(
+            "logical plan is missing cardinality annotations; run the "
+            "Phase-1 optimizer first"
+        )
+    return max(node.estimated_rows, 1.0)

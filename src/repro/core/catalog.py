@@ -1,0 +1,127 @@
+"""XDB's global catalog: a Global-as-View union of local schemas (§III).
+
+The catalog is populated through the DBMS connectors during the *prep*
+phase (metadata gathering counts toward the §VI-E breakdown) and serves
+as the table resolver for the cross-database plan builder: every scan it
+produces is tagged with the DBMS the relation lives on (Rule 1's input).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.connect.connector import DBMSConnector
+from repro.engine.cost import ScanStats
+from repro.engine.stats import TableStats
+from repro.errors import CatalogError
+from repro.relational.algebra import Scan
+from repro.relational.builder import ResolvedTable, TableResolver
+from repro.relational.schema import Schema
+
+
+class GlobalCatalog(TableResolver):
+    """Union of the local schemas across all federation members."""
+
+    def __init__(self, connectors: Mapping[str, DBMSConnector]):
+        self._connectors = dict(connectors)
+        #: (db, table_lower) -> Schema
+        self._schemas: Dict[Tuple[str, str], Schema] = {}
+        #: table_lower -> list of dbs exposing it
+        self._locations: Dict[str, List[str]] = {}
+        #: (db, table_lower) -> TableStats
+        self._stats: Dict[Tuple[str, str], Optional[TableStats]] = {}
+        #: (db, table_lower) -> original table name (case preserved)
+        self._names: Dict[Tuple[str, str], str] = {}
+        self._loaded = False
+
+    # -- prep phase ------------------------------------------------------------
+
+    def refresh(self, with_stats: bool = True) -> None:
+        """Gather metadata from every DBMS through its connector."""
+        self._schemas.clear()
+        self._locations.clear()
+        self._stats.clear()
+        self._names.clear()
+        for db_name, connector in self._connectors.items():
+            for table_name, schema in connector.list_tables().items():
+                key = table_name.lower()
+                self._schemas[(db_name, key)] = schema
+                self._locations.setdefault(key, []).append(db_name)
+                self._names[(db_name, key)] = table_name
+                if with_stats:
+                    self._stats[(db_name, key)] = connector.table_stats(
+                        table_name
+                    )
+        self._loaded = True
+
+    def _ensure_loaded(self) -> None:
+        if not self._loaded:
+            self.refresh()
+
+    # -- lookup -------------------------------------------------------------------
+
+    def locate(self, table: str) -> str:
+        """The (unique) DBMS hosting an unqualified table name."""
+        self._ensure_loaded()
+        locations = self._locations.get(table.lower())
+        if not locations:
+            raise CatalogError(f"unknown table {table!r} in the federation")
+        if len(locations) > 1:
+            raise CatalogError(
+                f"table {table!r} exists on multiple DBMSes "
+                f"({', '.join(locations)}); qualify it as db.table"
+            )
+        return locations[0]
+
+    def tables(self) -> List[Tuple[str, str]]:
+        """All (db, table) pairs in the federation."""
+        self._ensure_loaded()
+        return [(db, self._names[(db, key)]) for (db, key) in self._schemas]
+
+    def schema_of(self, db: str, table: str) -> Schema:
+        self._ensure_loaded()
+        schema = self._schemas.get((db, table.lower()))
+        if schema is None:
+            raise CatalogError(f"unknown table {db}.{table}")
+        return schema
+
+    def stats_of(self, db: str, table: str) -> Optional[TableStats]:
+        self._ensure_loaded()
+        return self._stats.get((db, table.lower()))
+
+    # -- resolver interface -----------------------------------------------------------
+
+    def resolve_table(self, parts: Tuple[str, ...]) -> ResolvedTable:
+        self._ensure_loaded()
+        if len(parts) == 2:
+            db, table = parts
+            if db not in self._connectors:
+                raise CatalogError(f"unknown DBMS {db!r} in {db}.{table}")
+        elif len(parts) == 1:
+            table = parts[0]
+            db = self.locate(table)
+        else:
+            raise CatalogError(f"invalid table name {'.'.join(parts)!r}")
+        return ResolvedTable(
+            table=table,
+            schema=self.schema_of(db, table),
+            source_db=db,
+        )
+
+    # -- statistics provider for the global estimator ------------------------------------
+
+    def scan_stats(self, scan: Scan) -> ScanStats:
+        """Statistics oracle backing the cross-database estimator."""
+        if scan.placeholder:
+            rows = scan.estimated_rows if scan.estimated_rows else 1000.0
+            return ScanStats(row_count=rows, columns={})
+        if scan.source_db is None:
+            raise CatalogError(
+                f"scan of {scan.table!r} has no source DBMS annotation"
+            )
+        stats = self.stats_of(scan.source_db, scan.table)
+        if stats is None:
+            return ScanStats(row_count=1000.0, columns={})
+        return ScanStats(
+            row_count=float(stats.row_count), columns=stats.columns
+        )

@@ -1,0 +1,348 @@
+"""The XDB facade: submit a cross-database query, get results + metrics.
+
+Mirrors the paper's client flow (Fig. 4b): the middleware optimizes and
+delegates, then hands the client an *XDB query* which the client runs on
+the root DBMS — XDB itself never touches the data path.  The report
+carries the §VI-E phase breakdown (prep / lopt / ann / exec), the
+delegation plan with per-edge movement statistics (Table IV), and the
+transfer ledger slice for the data-movement experiments (Fig. 14).
+
+Phase times combine real middleware CPU time with simulated network
+time for every control message, consultation, and data transfer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.annotate import Annotation, PlanAnnotator
+from repro.core.catalog import GlobalCatalog
+from repro.core.delegate import DelegationEngine, DeployedQuery
+from repro.core.finalize import PlanFinalizer
+from repro.core.logical import LogicalOptimizer
+from repro.core.plan import DelegationPlan
+from repro.core.timing import (
+    ScheduleResult,
+    attribute_edge_stats,
+    simulate_schedule,
+)
+from repro.engine.result import Result
+from repro.errors import OptimizerError
+from repro.federation.deployment import Deployment
+from repro.net.metrics import TransferSummary, summarize
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+@dataclass
+class XDBReport:
+    """Everything a query submission produced."""
+
+    result: Result
+    plan: DelegationPlan
+    deployed: DeployedQuery
+    #: None for re-executions of a prepared query (no annotation phase)
+    annotation: Optional[Annotation]
+    schedule: ScheduleResult
+    #: simulated seconds per phase: prep / lopt / ann / exec
+    phases: Dict[str, float] = field(default_factory=dict)
+    transfers: Optional[TransferSummary] = None
+    consultations: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def execution_seconds(self) -> float:
+        return self.phases.get("exec", 0.0)
+
+    @property
+    def optimization_seconds(self) -> float:
+        return (
+            self.phases.get("prep", 0.0)
+            + self.phases.get("lopt", 0.0)
+            + self.phases.get("ann", 0.0)
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"delegation plan ({self.plan.task_count()} tasks, "
+            f"root @ {self.plan.root.annotation}):",
+            self.plan.describe(),
+            "phases: "
+            + ", ".join(
+                f"{name}={seconds:.3f}s"
+                for name, seconds in self.phases.items()
+            ),
+        ]
+        if self.transfers is not None:
+            lines.append(
+                f"data moved: {self.transfers.total_megabytes:.3f} MB in "
+                f"{self.transfers.transfer_count} transfers"
+            )
+        return "\n".join(lines)
+
+
+class XDB:
+    """The middleware: cross-database optimizer + delegation engine."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        movement_policy: str = "cost",
+        prune_candidates: bool = True,
+        plan_shape: str = "left-deep",
+    ):
+        """Create the middleware over ``deployment``.
+
+        The keyword arguments expose the optimizer's ablation knobs:
+        ``movement_policy`` ("cost"/"implicit"/"explicit"),
+        ``prune_candidates`` (Rule 4's two-candidate pruning), and
+        ``plan_shape`` ("left-deep" per the paper, or "bushy" — the
+        paper's future-work extension, §IV-B footnote 5).
+        """
+        self.deployment = deployment
+        self.connectors = deployment.connectors
+        self.catalog = GlobalCatalog(self.connectors)
+        self.optimizer = LogicalOptimizer(self.catalog, plan_shape=plan_shape)
+        self.annotator = PlanAnnotator(
+            self.connectors,
+            deployment.network,
+            movement_policy=movement_policy,
+            prune_candidates=prune_candidates,
+        )
+        self.finalizer = PlanFinalizer()
+        self.delegator = DelegationEngine(self.connectors)
+        self._metadata_fresh = False
+
+    # -- public API --------------------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[str, ast.Select],
+        cleanup: bool = True,
+        refresh_metadata: bool = False,
+    ) -> XDBReport:
+        """Run a cross-database query end to end and report everything."""
+        network = self.deployment.network
+        ledger = network.log
+
+        # --- prep: parse + gather metadata through the connectors -------
+        mark = len(ledger)
+        cpu_start = time.perf_counter()
+        select = self._parse(query)
+        if refresh_metadata or not self._metadata_fresh:
+            self.catalog.refresh()
+            self._metadata_fresh = True
+        prep_seconds = self._phase_seconds(cpu_start, ledger, mark)
+
+        # --- lopt: logical optimization (pure middleware CPU) ------------
+        mark = len(ledger)
+        cpu_start = time.perf_counter()
+        logical_plan = self.optimizer.optimize(select)
+        lopt_seconds = self._phase_seconds(cpu_start, ledger, mark)
+
+        # --- ann: plan annotation + finalization (consulting) ------------
+        mark = len(ledger)
+        cpu_start = time.perf_counter()
+        annotation = self.annotator.annotate(logical_plan)
+        dplan = self.finalizer.finalize(logical_plan, annotation)
+        ann_seconds = self._phase_seconds(cpu_start, ledger, mark)
+
+        # --- exec: delegation DDL + decentralized execution ---------------
+        mark = len(ledger)
+        cpu_start = time.perf_counter()
+        deployed = self.delegator.delegate(dplan)
+        root_connector = self.connectors[deployed.root_db]
+        result = root_connector.run_query(
+            deployed.xdb_query, self.deployment.client_node
+        )
+        exec_window = ledger[mark:]
+        attribute_edge_stats(deployed, exec_window)
+        schedule = simulate_schedule(
+            deployed,
+            self.connectors,
+            network,
+            self.deployment.client_node,
+            result_bytes=result.byte_size(),
+        )
+        control_seconds = sum(
+            record.seconds
+            for record in exec_window
+            if record.tag in ("delegation", "control")
+        )
+        del cpu_start  # middleware CPU during exec is not on the critical
+        # path (the DBMSes run decentrally); control messages are.
+        exec_seconds = schedule.total_seconds + control_seconds
+        transfers = summarize(exec_window)
+
+        if cleanup:
+            deployed.cleanup()
+
+        return XDBReport(
+            result=result,
+            plan=dplan,
+            deployed=deployed,
+            annotation=annotation,
+            schedule=schedule,
+            phases={
+                "prep": prep_seconds,
+                "lopt": lopt_seconds,
+                "ann": ann_seconds,
+                "exec": exec_seconds,
+            },
+            transfers=transfers,
+            consultations=annotation.consultations,
+        )
+
+    def explain(self, query: Union[str, ast.Select]) -> str:
+        """Produce the delegation plan (Table IV style) without executing."""
+        select = self._parse(query)
+        if not self._metadata_fresh:
+            self.catalog.refresh()
+            self._metadata_fresh = True
+        logical_plan = self.optimizer.optimize(select)
+        annotation = self.annotator.annotate(logical_plan)
+        dplan = self.finalizer.finalize(logical_plan, annotation)
+        return dplan.describe()
+
+    def plan_query(
+        self, query: Union[str, ast.Select]
+    ) -> DelegationPlan:
+        """Optimize + annotate + finalize, returning the delegation plan."""
+        select = self._parse(query)
+        if not self._metadata_fresh:
+            self.catalog.refresh()
+            self._metadata_fresh = True
+        logical_plan = self.optimizer.optimize(select)
+        annotation = self.annotator.annotate(logical_plan)
+        return self.finalizer.finalize(logical_plan, annotation)
+
+    def prepare(self, query: Union[str, ast.Select]) -> "PreparedQuery":
+        """Optimize + delegate once; execute many times on fresh data.
+
+        The delegation cascade stays deployed: re-executions skip the
+        optimizer and delegation phases entirely, re-materialize the
+        explicit edges, and re-run the XDB query — since every implicit
+        edge is a view, results always reflect the current base data
+        (the paper's "ad-hoc queries on fresh data" motivation without
+        re-planning).
+        """
+        select = self._parse(query)
+        if not self._metadata_fresh:
+            self.catalog.refresh()
+            self._metadata_fresh = True
+        logical_plan = self.optimizer.optimize(select)
+        annotation = self.annotator.annotate(logical_plan)
+        dplan = self.finalizer.finalize(logical_plan, annotation)
+        deployed = self.delegator.delegate(dplan)
+        return PreparedQuery(self, deployed)
+
+    def invalidate_metadata(self) -> None:
+        self._metadata_fresh = False
+
+    def warm_metadata(self) -> None:
+        """Gather global-catalog metadata ahead of time (benchmarks)."""
+        self.catalog.refresh()
+        self._metadata_fresh = True
+
+    # -- internals ------------------------------------------------------------------
+
+    @staticmethod
+    def _parse(query: Union[str, ast.Select]) -> ast.Statement:
+        if isinstance(query, ast.QUERY_STATEMENTS):
+            return query
+        statement = parse_statement(query)
+        if not isinstance(statement, ast.QUERY_STATEMENTS):
+            raise OptimizerError(
+                "XDB accepts analytical SELECT / UNION ALL queries only"
+            )
+        return statement
+
+    @staticmethod
+    def _phase_seconds(cpu_start: float, ledger, mark: int) -> float:
+        """Real middleware CPU plus simulated network time of the phase."""
+        cpu = time.perf_counter() - cpu_start
+        network = sum(record.seconds for record in ledger[mark:])
+        return cpu + network
+
+
+class PreparedQuery:
+    """A delegated query kept deployed for repeated execution.
+
+    Use as a context manager (or call :meth:`close`) so the short-lived
+    views / foreign tables are dropped from the DBMSes afterwards.
+    """
+
+    def __init__(self, xdb: XDB, deployed: DeployedQuery):
+        self._xdb = xdb
+        self.deployed = deployed
+        self.executions = 0
+        self._closed = False
+
+    @property
+    def plan(self) -> DelegationPlan:
+        return self.deployed.plan
+
+    def execute(self) -> XDBReport:
+        """Run the deployed XDB query against the current base data."""
+        if self._closed:
+            raise OptimizerError("prepared query is closed")
+        network = self._xdb.deployment.network
+        ledger = network.log
+        mark = len(ledger)
+        cpu_start = time.perf_counter()
+
+        if self.executions > 0:
+            # First execution already materialized during delegation.
+            self.deployed.refresh_materializations()
+        root_connector = self._xdb.connectors[self.deployed.root_db]
+        result = root_connector.run_query(
+            self.deployed.xdb_query, self._xdb.deployment.client_node
+        )
+        self.executions += 1
+
+        exec_window = ledger[mark:]
+        attribute_edge_stats(self.deployed, exec_window)
+        schedule = simulate_schedule(
+            self.deployed,
+            self._xdb.connectors,
+            network,
+            self._xdb.deployment.client_node,
+            result_bytes=result.byte_size(),
+        )
+        control_seconds = sum(
+            record.seconds
+            for record in exec_window
+            if record.tag in ("delegation", "control")
+        )
+        del cpu_start
+        return XDBReport(
+            result=result,
+            plan=self.deployed.plan,
+            deployed=self.deployed,
+            annotation=None,
+            schedule=schedule,
+            phases={
+                "prep": 0.0,
+                "lopt": 0.0,
+                "ann": 0.0,
+                "exec": schedule.total_seconds + control_seconds,
+            },
+            transfers=summarize(exec_window),
+        )
+
+    def close(self) -> None:
+        """Drop every deployed object."""
+        if not self._closed:
+            self.deployed.cleanup()
+            self._closed = True
+
+    def __enter__(self) -> "PreparedQuery":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,218 @@
+"""The delegation engine: Algorithm 1 of the paper (§V-A).
+
+The engine walks the delegation plan depth-first.  For each task it
+
+1. recursively deploys the child tasks, obtaining their view names;
+2. creates a **foreign table** on the task's DBMS pointing at each
+   child view (``CREATEFOREIGNTABLE``);
+3. for **explicit** edges additionally materializes the foreign table
+   into a local relation (``CREATELOCALTABLE``, a ``CREATE TABLE AS``);
+4. creates a **virtual relation** (a view) for the task's own algebraic
+   expression (``CREATEVIRTUALTABLE``) — the paper's safeguard against
+   vendor-specific wrapper pushdown: all of the task's operations are
+   pinned inside the remote view, so no capability mismatch can leak
+   them to the wrong DBMS.
+
+The traversal returns the *XDB query* — ``SELECT * FROM <root view>`` —
+which the client runs on the root task's DBMS to trigger the in-situ
+cascade (§V-B).  All created objects are short-lived and dropped by
+:meth:`DeployedQuery.cleanup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.connect.connector import DBMSConnector
+from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
+from repro.errors import DelegationError
+from repro.relational import algebra
+from repro.relational.decompile import plan_to_select
+from repro.sql import ast
+from repro.sql.render import render
+
+
+@dataclass
+class DeployedQuery:
+    """A delegation plan deployed onto the DBMSes, ready to execute."""
+
+    plan: DelegationPlan
+    root_db: str
+    xdb_query: ast.Select
+    #: (db, object kind, object name) in creation order
+    created_objects: List[Tuple[str, str, str]]
+    #: (db, rendered DDL) in execution order — Fig. 7 style
+    ddl_log: List[Tuple[str, str]]
+    #: edge -> producing view name (for ledger attribution)
+    edge_views: Dict[int, str]
+    #: (db, table name, CTAS statement) per explicit edge, so a prepared
+    #: query can refresh its materializations before re-execution
+    materializations: List[Tuple[str, str, ast.CreateTableAs]] = field(
+        default_factory=list
+    )
+    _connectors: Mapping[str, DBMSConnector] = field(repr=False, default=None)
+
+    def cleanup(self) -> None:
+        """Drop every short-lived object, consumers before producers."""
+        for db, kind, name in reversed(self.created_objects):
+            self._connectors[db].execute_ddl(
+                ast.DropObject(kind=kind, name=name, if_exists=True)
+            )
+        self.created_objects.clear()
+
+    def refresh_materializations(self) -> None:
+        """Re-run every explicit edge's CTAS against fresh base data.
+
+        Views (implicit edges) always see fresh data; materialized
+        intermediates are snapshots and must be rebuilt before a
+        prepared query re-executes.
+        """
+        for db, table_name, ctas in self.materializations:
+            connector = self._connectors[db]
+            connector.execute_ddl(
+                ast.DropObject(kind="TABLE", name=table_name, if_exists=True)
+            )
+            connector.execute_ddl(ctas)
+
+
+class DelegationEngine:
+    """Rewrites delegation plans into DBMS-specific DDL (Algorithm 1)."""
+
+    def __init__(self, connectors: Mapping[str, DBMSConnector]):
+        self._connectors = dict(connectors)
+        self._query_counter = 0
+
+    def delegate(self, dplan: DelegationPlan) -> DeployedQuery:
+        """Deploy ``dplan``; returns the XDB query for the client."""
+        self._query_counter += 1
+        query_id = self._query_counter
+        created: List[Tuple[str, str, str]] = []
+        ddl_log: List[Tuple[str, str]] = []
+        edge_views: Dict[int, str] = {}
+        materializations: List[Tuple[str, str, ast.CreateTableAs]] = []
+
+        root_view = self._process_task(
+            dplan,
+            dplan.root,
+            query_id,
+            created,
+            ddl_log,
+            edge_views,
+            materializations,
+        )
+
+        xdb_query = ast.Select(
+            items=(ast.SelectItem(ast.Star()),),
+            from_items=(ast.TableRef((root_view,)),),
+        )
+        return DeployedQuery(
+            plan=dplan,
+            root_db=dplan.root.annotation,
+            xdb_query=xdb_query,
+            created_objects=created,
+            ddl_log=ddl_log,
+            edge_views=edge_views,
+            materializations=materializations,
+            _connectors=self._connectors,
+        )
+
+    # -- Algorithm 1 -------------------------------------------------------------
+
+    def _process_task(
+        self,
+        dplan: DelegationPlan,
+        task: Task,
+        query_id: int,
+        created: List[Tuple[str, str, str]],
+        ddl_log: List[Tuple[str, str]],
+        edge_views: Dict[int, str],
+        materializations: List[Tuple[str, str, ast.CreateTableAs]],
+    ) -> str:
+        connector = self._connectors.get(task.annotation)
+        if connector is None:
+            raise DelegationError(
+                f"no connector for DBMS {task.annotation!r}"
+            )
+
+        for edge in dplan.in_edges(task):
+            child = dplan.tasks[edge.producer_id]
+            child_view = self._process_task(
+                dplan,
+                child,
+                query_id,
+                created,
+                ddl_log,
+                edge_views,
+                materializations,
+            )
+            edge_views[id(edge)] = child_view
+
+            # CREATEFOREIGNTABLE(R_v, t.a)
+            foreign_name = f"xf_{query_id}_{child.task_id}"
+            columns = tuple(
+                ast.ColumnDef(fld.name, fld.type)
+                for fld in child.expr.schema
+            )
+            create_ft = ast.CreateForeignTable(
+                name=foreign_name,
+                columns=columns,
+                server=child.annotation,
+                remote_object=child_view,
+            )
+            self._run_ddl(connector, create_ft, ddl_log)
+            created.append((task.annotation, "FOREIGN TABLE", foreign_name))
+
+            if edge.movement is Movement.EXPLICIT:
+                # CREATELOCALTABLE(R'_v, t.a): materialize on the consumer.
+                local_name = f"xm_{query_id}_{child.task_id}"
+                ctas = ast.CreateTableAs(
+                    name=local_name,
+                    query=ast.Select(
+                        items=(ast.SelectItem(ast.Star()),),
+                        from_items=(ast.TableRef((foreign_name,)),),
+                    ),
+                )
+                self._run_ddl(connector, ctas, ddl_log)
+                created.append((task.annotation, "TABLE", local_name))
+                materializations.append(
+                    (task.annotation, local_name, ctas)
+                )
+                resolved_name = local_name
+            else:
+                resolved_name = foreign_name
+
+            self._resolve_placeholder(task, edge, resolved_name)
+
+        # CREATEVIRTUALTABLE(t.r, t.a)
+        view_name = f"xv_{query_id}_{task.task_id}"
+        select = plan_to_select(task.expr)
+        create_view = ast.CreateView(name=view_name, query=select)
+        self._run_ddl(connector, create_view, ddl_log)
+        created.append((task.annotation, "VIEW", view_name))
+        return view_name
+
+    def _run_ddl(
+        self,
+        connector: DBMSConnector,
+        statement: ast.Statement,
+        ddl_log: List[Tuple[str, str]],
+    ) -> None:
+        ddl_log.append(
+            (connector.name, render(statement, connector.database.dialect))
+        )
+        connector.execute_ddl(statement)
+
+    @staticmethod
+    def _resolve_placeholder(
+        task: Task, edge: TaskEdge, object_name: str
+    ) -> None:
+        """Point the ``?`` placeholder scan at the created object."""
+        for scan in task.expr.leaves():
+            if scan.placeholder and scan.binding == edge.placeholder:
+                scan.table = object_name
+                return
+        raise DelegationError(
+            f"placeholder {edge.placeholder!r} not found in task "
+            f"{task.task_id}"
+        )

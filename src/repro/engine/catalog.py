@@ -1,0 +1,161 @@
+"""Engine catalog: stored tables, views, and foreign tables.
+
+Names are case-insensitive, like mainstream SQL engines.  The catalog
+implements :class:`repro.relational.builder.TableResolver`, so the plan
+builder can bind queries directly against it; foreign tables resolve as
+ordinary relations and the planner turns their scans into foreign scans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.stats import TableStats, compute_stats
+from repro.errors import CatalogError
+from repro.relational.builder import ResolvedTable, TableResolver
+from repro.relational.schema import Schema
+from repro.sql import ast
+
+
+class BaseTable:
+    """A stored relation: schema, rows, and (lazily computed) statistics."""
+
+    kind = "TABLE"
+
+    def __init__(self, name: str, schema: Schema, rows=None, temporary=False):
+        self.name = name
+        self.schema = schema.unqualified()
+        self.rows: List[tuple] = list(rows) if rows is not None else []
+        self.temporary = temporary
+        self._stats: Optional[TableStats] = None
+
+    @property
+    def stats(self) -> TableStats:
+        if self._stats is None:
+            self._stats = compute_stats(self.schema, self.rows)
+        return self._stats
+
+    def invalidate_stats(self) -> None:
+        self._stats = None
+
+    def insert(self, rows) -> int:
+        count = 0
+        for row in rows:
+            if len(row) != len(self.schema):
+                raise CatalogError(
+                    f"row arity {len(row)} does not match table "
+                    f"{self.name!r} with {len(self.schema)} columns"
+                )
+            self.rows.append(tuple(row))
+            count += 1
+        self.invalidate_stats()
+        return count
+
+
+class View:
+    """A named query; expanded inline by the plan builder."""
+
+    kind = "VIEW"
+
+    def __init__(self, name: str, query: ast.Select):
+        self.name = name
+        self.query = query
+
+
+class ForeignTable:
+    """A SQL/MED foreign table: schema plus (server, remote object)."""
+
+    kind = "FOREIGN TABLE"
+
+    def __init__(
+        self, name: str, schema: Schema, server: str, remote_object: str
+    ):
+        self.name = name
+        self.schema = schema.unqualified()
+        self.server = server
+        self.remote_object = remote_object
+
+
+CatalogObject = object  # BaseTable | View | ForeignTable
+
+
+class Catalog(TableResolver):
+    """Name → object map with resolver support for the plan builder."""
+
+    def __init__(self, database_name: str):
+        self.database_name = database_name
+        self._objects: Dict[str, CatalogObject] = {}
+
+    # -- management ----------------------------------------------------------
+
+    def add(self, obj: CatalogObject, replace: bool = False) -> None:
+        key = obj.name.lower()
+        if not replace and key in self._objects:
+            raise CatalogError(
+                f"object {obj.name!r} already exists in database "
+                f"{self.database_name!r}"
+            )
+        self._objects[key] = obj
+
+    def drop(self, name: str, kind: Optional[str] = None) -> None:
+        key = name.lower()
+        obj = self._objects.get(key)
+        if obj is None:
+            raise CatalogError(
+                f"object {name!r} does not exist in database "
+                f"{self.database_name!r}"
+            )
+        if kind is not None and obj.kind != kind:
+            # MariaDB-style engines drop federated tables via DROP TABLE.
+            if not (kind == "TABLE" and obj.kind == "FOREIGN TABLE"):
+                raise CatalogError(
+                    f"object {name!r} is a {obj.kind}, not a {kind}"
+                )
+        del self._objects[key]
+
+    def get(self, name: str) -> Optional[CatalogObject]:
+        return self._objects.get(name.lower())
+
+    def require(self, name: str) -> CatalogObject:
+        obj = self.get(name)
+        if obj is None:
+            raise CatalogError(
+                f"unknown relation {name!r} in database "
+                f"{self.database_name!r}"
+            )
+        return obj
+
+    def names(self) -> List[str]:
+        return sorted(obj.name for obj in self._objects.values())
+
+    def objects(self) -> List[CatalogObject]:
+        return list(self._objects.values())
+
+    def tables(self) -> List[BaseTable]:
+        return [o for o in self._objects.values() if isinstance(o, BaseTable)]
+
+    # -- resolver interface --------------------------------------------------
+
+    def resolve_table(self, parts: Tuple[str, ...]) -> ResolvedTable:
+        if len(parts) == 2:
+            if parts[0].lower() != self.database_name.lower():
+                raise CatalogError(
+                    f"cannot resolve {'.'.join(parts)!r}: this engine is "
+                    f"{self.database_name!r} and has no cross-database view"
+                )
+            name = parts[1]
+        elif len(parts) == 1:
+            name = parts[0]
+        else:
+            raise CatalogError(f"invalid table name {'.'.join(parts)!r}")
+
+        obj = self.require(name)
+        if isinstance(obj, View):
+            return ResolvedTable(table=obj.name, view_query=obj.query)
+        if isinstance(obj, (BaseTable, ForeignTable)):
+            return ResolvedTable(
+                table=obj.name,
+                schema=obj.schema,
+                source_db=self.database_name,
+            )
+        raise CatalogError(f"cannot scan object {name!r}")

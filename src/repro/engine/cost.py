@@ -1,0 +1,513 @@
+"""Cardinality estimation and the engine cost model (EXPLAIN backend).
+
+The estimator walks a logical plan, propagating row counts and per-column
+statistics through operators with the usual System-R style heuristics.
+The cost model turns those cardinalities into engine-local cost units
+using the vendor profile's constants; the connector layer calibrates the
+units into a common currency for XDB's annotator (§IV footnote 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.engine.profiles import EngineProfile
+from repro.engine.stats import ColumnStats
+from repro.errors import BindError, OptimizerError
+from repro.relational import algebra
+from repro.relational.schema import Schema
+from repro.sql import ast
+
+#: Default selectivity for predicates we cannot analyze.
+DEFAULT_SELECTIVITY = 0.33
+LIKE_SELECTIVITY = 0.2
+RANGE_SELECTIVITY = 0.3
+
+ColumnKey = Tuple[Optional[str], str]
+
+
+@dataclass
+class ScanStats:
+    """What a stats provider knows about a scan's source relation."""
+
+    row_count: float
+    columns: Dict[str, ColumnStats]
+
+
+#: scan -> ScanStats; engines back this with their catalogs, XDB's
+#: optimizer backs it with remote metadata gathered through connectors.
+StatsProviderFn = Callable[[algebra.Scan], ScanStats]
+
+
+@dataclass
+class _NodeEstimate:
+    rows: float
+    columns: Dict[ColumnKey, ColumnStats]
+
+
+class CardinalityEstimator:
+    """Estimates row counts (and key NDVs) for logical plans."""
+
+    def __init__(self, stats_provider: StatsProviderFn):
+        self._stats_provider = stats_provider
+        self._cache: Dict[int, _NodeEstimate] = {}
+
+    def estimate_rows(self, plan: algebra.LogicalPlan) -> float:
+        """Estimated output rows of ``plan`` (also annotates the node)."""
+        estimate = self._estimate(plan)
+        plan.estimated_rows = estimate.rows
+        return estimate.rows
+
+    def estimate_ndv(
+        self, plan: algebra.LogicalPlan, ref: ast.ColumnRef
+    ) -> float:
+        """Estimated distinct values of ``ref`` in ``plan``'s output."""
+        estimate = self._estimate(plan)
+        try:
+            index = plan.schema.resolve(ref.name, ref.table)
+        except BindError:
+            return max(estimate.rows, 1.0)
+        field = plan.schema[index]
+        stats = estimate.columns.get((field.relation, field.name.lower()))
+        if stats is None or stats.ndv <= 0:
+            return max(estimate.rows, 1.0)
+        return float(min(stats.ndv, max(estimate.rows, 1.0)))
+
+    # -- recursive estimation -------------------------------------------------
+
+    def _estimate(self, plan: algebra.LogicalPlan) -> _NodeEstimate:
+        cached = self._cache.get(id(plan))
+        if cached is not None:
+            return cached
+        method = getattr(self, f"_est_{type(plan).__name__}", None)
+        if method is None:
+            raise OptimizerError(
+                f"cannot estimate node {type(plan).__name__}"
+            )
+        estimate = method(plan)
+        estimate.rows = max(estimate.rows, 0.0)
+        self._cache[id(plan)] = estimate
+        plan.estimated_rows = estimate.rows
+        return estimate
+
+    def _est_Scan(self, plan: algebra.Scan) -> _NodeEstimate:
+        stats = self._stats_provider(plan)
+        columns = {
+            (field.relation, field.name.lower()): column_stats
+            for field in plan.schema
+            for column_stats in (stats.columns.get(field.name.lower()),)
+            if column_stats is not None
+        }
+        return _NodeEstimate(rows=float(stats.row_count), columns=columns)
+
+    def _est_Filter(self, plan: algebra.Filter) -> _NodeEstimate:
+        child = self._estimate(plan.child)
+        selectivity = predicate_selectivity(
+            plan.predicate, plan.child.schema, child.columns, child.rows
+        )
+        rows = child.rows * selectivity
+        return _NodeEstimate(rows=rows, columns=_scale(child.columns, rows))
+
+    def _est_Project(self, plan: algebra.Project) -> _NodeEstimate:
+        child = self._estimate(plan.child)
+        columns: Dict[ColumnKey, ColumnStats] = {}
+        for item, field in zip(plan.items, plan.schema):
+            if isinstance(item.expr, ast.ColumnRef):
+                try:
+                    index = plan.child.schema.resolve(
+                        item.expr.name, item.expr.table
+                    )
+                except BindError:
+                    continue
+                source = plan.child.schema[index]
+                stats = child.columns.get(
+                    (source.relation, source.name.lower())
+                )
+                if stats is not None:
+                    columns[(field.relation, field.name.lower())] = stats
+        return _NodeEstimate(rows=child.rows, columns=columns)
+
+    def _est_Alias(self, plan: algebra.Alias) -> _NodeEstimate:
+        child = self._estimate(plan.child)
+        columns = {
+            (plan.binding, name): stats
+            for (_, name), stats in child.columns.items()
+        }
+        return _NodeEstimate(rows=child.rows, columns=columns)
+
+    def _est_Join(self, plan: algebra.Join) -> _NodeEstimate:
+        left = self._estimate(plan.left)
+        right = self._estimate(plan.right)
+        columns = dict(left.columns)
+        columns.update(right.columns)
+        cross = max(left.rows, 1.0) * max(right.rows, 1.0)
+
+        if plan.condition is None:
+            rows = cross
+        else:
+            selectivity = 1.0
+            merged_schema = plan.schema
+            for conjunct in ast.conjuncts(plan.condition):
+                selectivity *= _join_conjunct_selectivity(
+                    conjunct,
+                    plan,
+                    left,
+                    right,
+                    merged_schema,
+                )
+            rows = cross * selectivity
+        if plan.kind == "LEFT":
+            rows = max(rows, left.rows)
+        return _NodeEstimate(rows=rows, columns=_scale(columns, rows))
+
+    def _est_Aggregate(self, plan: algebra.Aggregate) -> _NodeEstimate:
+        child = self._estimate(plan.child)
+        if not plan.keys:
+            return _NodeEstimate(rows=1.0, columns={})
+        groups = 1.0
+        columns: Dict[ColumnKey, ColumnStats] = {}
+        for key, field in zip(plan.keys, plan.schema):
+            ndv = None
+            if isinstance(key.expr, ast.ColumnRef):
+                try:
+                    index = plan.child.schema.resolve(
+                        key.expr.name, key.expr.table
+                    )
+                    source = plan.child.schema[index]
+                    stats = child.columns.get(
+                        (source.relation, source.name.lower())
+                    )
+                    if stats is not None:
+                        ndv = float(stats.ndv)
+                        columns[(field.relation, field.name.lower())] = stats
+                except BindError:
+                    pass
+            groups *= ndv if ndv is not None else 10.0
+        rows = min(groups, max(child.rows, 1.0))
+        return _NodeEstimate(rows=rows, columns=columns)
+
+    def _est_Sort(self, plan: algebra.Sort) -> _NodeEstimate:
+        return self._estimate(plan.child)
+
+    def _est_Limit(self, plan: algebra.Limit) -> _NodeEstimate:
+        child = self._estimate(plan.child)
+        rows = min(child.rows, float(plan.count))
+        return _NodeEstimate(rows=rows, columns=_scale(child.columns, rows))
+
+    def _est_Distinct(self, plan: algebra.Distinct) -> _NodeEstimate:
+        child = self._estimate(plan.child)
+        return _NodeEstimate(rows=child.rows * 0.9, columns=child.columns)
+
+    def _est_Union(self, plan: "algebra.Union") -> _NodeEstimate:
+        left = self._estimate(plan.left)
+        right = self._estimate(plan.right)
+        return _NodeEstimate(rows=left.rows + right.rows, columns={})
+
+
+def _scale(
+    columns: Dict[ColumnKey, ColumnStats], rows: float
+) -> Dict[ColumnKey, ColumnStats]:
+    """Cap NDVs by the (shrunken) row count."""
+    capped = {}
+    bound = max(int(rows), 1)
+    for key, stats in columns.items():
+        capped[key] = ColumnStats(
+            ndv=min(stats.ndv, bound),
+            null_count=stats.null_count,
+            min_value=stats.min_value,
+            max_value=stats.max_value,
+            avg_width=stats.avg_width,
+        )
+    return capped
+
+
+def _column_stats_for(
+    ref: ast.ColumnRef,
+    schema: Schema,
+    columns: Dict[ColumnKey, ColumnStats],
+) -> Optional[ColumnStats]:
+    try:
+        index = schema.resolve(ref.name, ref.table)
+    except BindError:
+        return None
+    field = schema[index]
+    return columns.get((field.relation, field.name.lower()))
+
+
+def _join_conjunct_selectivity(
+    conjunct: ast.Expression,
+    plan: algebra.Join,
+    left: _NodeEstimate,
+    right: _NodeEstimate,
+    schema: Schema,
+) -> float:
+    if (
+        isinstance(conjunct, ast.BinaryOp)
+        and conjunct.op == "="
+        and isinstance(conjunct.left, ast.ColumnRef)
+        and isinstance(conjunct.right, ast.ColumnRef)
+    ):
+        left_stats = _column_stats_for(
+            conjunct.left, schema, {**left.columns, **right.columns}
+        )
+        right_stats = _column_stats_for(
+            conjunct.right, schema, {**left.columns, **right.columns}
+        )
+        left_ndv = float(left_stats.ndv) if left_stats else None
+        right_ndv = float(right_stats.ndv) if right_stats else None
+        candidates = [n for n in (left_ndv, right_ndv) if n and n > 0]
+        if candidates:
+            return 1.0 / max(candidates)
+        return 1.0 / max(max(left.rows, 1.0), max(right.rows, 1.0))
+    return predicate_selectivity(
+        conjunct, schema, {**left.columns, **right.columns}, left.rows * right.rows
+    )
+
+
+def predicate_selectivity(
+    predicate: ast.Expression,
+    schema: Schema,
+    columns: Dict[ColumnKey, ColumnStats],
+    rows: float,
+) -> float:
+    """Estimated fraction of rows satisfying ``predicate``."""
+    if isinstance(predicate, ast.BinaryOp):
+        if predicate.op == "AND":
+            return predicate_selectivity(
+                predicate.left, schema, columns, rows
+            ) * predicate_selectivity(predicate.right, schema, columns, rows)
+        if predicate.op == "OR":
+            first = predicate_selectivity(
+                predicate.left, schema, columns, rows
+            )
+            second = predicate_selectivity(
+                predicate.right, schema, columns, rows
+            )
+            return min(first + second - first * second, 1.0)
+        if predicate.op in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            return _comparison_selectivity(predicate, schema, columns, rows)
+    if isinstance(predicate, ast.UnaryOp) and predicate.op == "NOT":
+        return 1.0 - predicate_selectivity(
+            predicate.operand, schema, columns, rows
+        )
+    if isinstance(predicate, ast.Between):
+        base = _range_fraction_between(predicate, schema, columns)
+        return (1.0 - base) if predicate.negated else base
+    if isinstance(predicate, ast.InList):
+        base = _in_list_selectivity(predicate, schema, columns, rows)
+        return (1.0 - base) if predicate.negated else base
+    if isinstance(predicate, ast.Like):
+        return (
+            1.0 - LIKE_SELECTIVITY if predicate.negated else LIKE_SELECTIVITY
+        )
+    if isinstance(predicate, ast.IsNull):
+        if isinstance(predicate.operand, ast.ColumnRef):
+            stats = _column_stats_for(predicate.operand, schema, columns)
+            if stats is not None and rows > 0:
+                fraction = stats.null_fraction(int(rows))
+                return 1.0 - fraction if predicate.negated else fraction
+        return 0.05 if not predicate.negated else 0.95
+    if isinstance(predicate, ast.Literal):
+        if predicate.value is True:
+            return 1.0
+        if predicate.value in (False, None):
+            return 0.0
+    return DEFAULT_SELECTIVITY
+
+
+def _comparison_selectivity(
+    predicate: ast.BinaryOp,
+    schema: Schema,
+    columns: Dict[ColumnKey, ColumnStats],
+    rows: float,
+) -> float:
+    column, literal = None, None
+    if isinstance(predicate.left, ast.ColumnRef) and isinstance(
+        predicate.right, ast.Literal
+    ):
+        column, literal = predicate.left, predicate.right.value
+        op = predicate.op
+    elif isinstance(predicate.right, ast.ColumnRef) and isinstance(
+        predicate.left, ast.Literal
+    ):
+        column, literal = predicate.right, predicate.left.value
+        op = _flip(predicate.op)
+    elif (
+        isinstance(predicate.left, ast.ColumnRef)
+        and isinstance(predicate.right, ast.ColumnRef)
+        and predicate.op == "="
+    ):
+        left_stats = _column_stats_for(predicate.left, schema, columns)
+        right_stats = _column_stats_for(predicate.right, schema, columns)
+        ndvs = [
+            float(s.ndv) for s in (left_stats, right_stats) if s and s.ndv > 0
+        ]
+        return 1.0 / max(ndvs) if ndvs else DEFAULT_SELECTIVITY
+    else:
+        return DEFAULT_SELECTIVITY
+
+    stats = _column_stats_for(column, schema, columns)
+    if stats is None:
+        return DEFAULT_SELECTIVITY
+    if op == "=":
+        return 1.0 / stats.ndv if stats.ndv > 0 else DEFAULT_SELECTIVITY
+    if op in ("<>", "!="):
+        return (
+            1.0 - 1.0 / stats.ndv if stats.ndv > 0 else 1 - DEFAULT_SELECTIVITY
+        )
+    fraction = _range_fraction(stats, literal, op)
+    return fraction if fraction is not None else RANGE_SELECTIVITY
+
+
+def _flip(op: str) -> str:
+    return {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+
+
+def _to_number(value) -> Optional[float]:
+    import datetime
+
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None
+
+
+def _range_fraction(
+    stats: ColumnStats, literal, op: str
+) -> Optional[float]:
+    low = _to_number(stats.min_value)
+    high = _to_number(stats.max_value)
+    value = _to_number(literal)
+    if low is None or high is None or value is None:
+        return None
+    if high <= low:
+        return 0.5
+    fraction = (value - low) / (high - low)
+    fraction = min(max(fraction, 0.0), 1.0)
+    if op in ("<", "<="):
+        return fraction
+    return 1.0 - fraction
+
+
+def _range_fraction_between(
+    predicate: ast.Between,
+    schema: Schema,
+    columns: Dict[ColumnKey, ColumnStats],
+) -> float:
+    if not isinstance(predicate.operand, ast.ColumnRef):
+        return RANGE_SELECTIVITY
+    stats = _column_stats_for(predicate.operand, schema, columns)
+    if stats is None:
+        return RANGE_SELECTIVITY
+    low = _to_number(stats.min_value)
+    high = _to_number(stats.max_value)
+    if low is None or high is None or high <= low:
+        return RANGE_SELECTIVITY
+    bound_low = (
+        _to_number(predicate.low.value)
+        if isinstance(predicate.low, ast.Literal)
+        else None
+    )
+    bound_high = (
+        _to_number(predicate.high.value)
+        if isinstance(predicate.high, ast.Literal)
+        else None
+    )
+    if bound_low is None or bound_high is None:
+        return RANGE_SELECTIVITY
+    span = max(min(bound_high, high) - max(bound_low, low), 0.0)
+    return min(span / (high - low), 1.0)
+
+
+def _in_list_selectivity(
+    predicate: ast.InList,
+    schema: Schema,
+    columns: Dict[ColumnKey, ColumnStats],
+    rows: float,
+) -> float:
+    if isinstance(predicate.operand, ast.ColumnRef):
+        stats = _column_stats_for(predicate.operand, schema, columns)
+        if stats is not None and stats.ndv > 0:
+            return min(len(predicate.items) / stats.ndv, 1.0)
+    return min(len(predicate.items) * 0.1, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# cost model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExplainInfo:
+    """What EXPLAIN reports: cardinality, cost, width, and a plan sketch."""
+
+    estimated_rows: float
+    total_cost: float
+    row_width: int
+    plan_text: str
+
+
+class CostModel:
+    """Turns estimated cardinalities into engine-local cost units."""
+
+    def __init__(self, profile: EngineProfile):
+        self.profile = profile
+
+    def plan_cost(
+        self,
+        plan: algebra.LogicalPlan,
+        estimator: CardinalityEstimator,
+    ) -> float:
+        """Total cost of the logical plan, in engine-local units."""
+        return self.profile.startup_cost + self._node_cost(plan, estimator)
+
+    def _node_cost(
+        self, plan: algebra.LogicalPlan, estimator: CardinalityEstimator
+    ) -> float:
+        profile = self.profile
+        child_cost = sum(
+            self._node_cost(child, estimator) for child in plan.children()
+        )
+        rows_out = max(estimator.estimate_rows(plan), 1.0)
+
+        if isinstance(plan, algebra.Scan):
+            if plan.placeholder:
+                # Placeholder inputs arrive over the wire.
+                return rows_out * profile.foreign_fetch_cost_per_row
+            return rows_out * profile.seq_scan_cost_per_row
+        if isinstance(plan, algebra.Filter):
+            rows_in = max(estimator.estimate_rows(plan.child), 1.0)
+            return child_cost + rows_in * profile.cpu_tuple_cost
+        if isinstance(plan, (algebra.Project, algebra.Alias)):
+            return child_cost + rows_out * profile.cpu_tuple_cost
+        if isinstance(plan, algebra.Join):
+            left_rows = max(estimator.estimate_rows(plan.left), 1.0)
+            right_rows = max(estimator.estimate_rows(plan.right), 1.0)
+            if plan.condition is not None:
+                build = min(left_rows, right_rows)
+                probe = max(left_rows, right_rows)
+                return (
+                    child_cost
+                    + build * profile.hash_build_cost_per_row
+                    + probe * profile.cpu_tuple_cost
+                    + rows_out * profile.cpu_tuple_cost
+                )
+            return child_cost + left_rows * right_rows * profile.cpu_tuple_cost
+        if isinstance(plan, algebra.Aggregate):
+            rows_in = max(estimator.estimate_rows(plan.child), 1.0)
+            return child_cost + rows_in * (
+                profile.cpu_tuple_cost + profile.hash_build_cost_per_row
+            )
+        if isinstance(plan, algebra.Sort):
+            rows_in = max(estimator.estimate_rows(plan.child), 1.0)
+            return child_cost + profile.sort_cost_factor * rows_in * max(
+                math.log2(rows_in), 1.0
+            )
+        if isinstance(plan, (algebra.Limit, algebra.Distinct)):
+            return child_cost + rows_out * profile.cpu_tuple_cost
+        return child_cost + rows_out * profile.cpu_tuple_cost

@@ -1,0 +1,259 @@
+"""The Database: one autonomous, black-box DBMS instance.
+
+A database is driven exclusively through its declarative interface
+(``execute``), mirroring the paper's execution-autonomy assumption: the
+caller never controls physical operators or plan shapes, only submits
+SQL (queries *and* the SQL/MED DDL the delegation engine emits) and
+reads results or EXPLAIN estimates back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.engine.catalog import BaseTable, Catalog, ForeignTable, View
+from repro.engine.cost import CostModel, ExplainInfo
+from repro.engine.planner import LocalPlanner
+from repro.engine.profiles import EngineProfile, profile_for
+from repro.engine.result import Result
+from repro.engine.stats import TableStats
+from repro.errors import CatalogError, ExecutionError
+from repro.relational.builder import build_plan
+from repro.relational.expressions import compile_expression
+from repro.relational.schema import Field, Schema
+from repro.sql import ast
+from repro.sql.dialects import dialect_for
+from repro.sql.parser import parse_statement
+from repro.sql.render import Renderer
+
+
+@dataclass
+class ExecutionTrace:
+    """Bookkeeping for the most recent statements (tests & simulator)."""
+
+    statements: int = 0
+    rows_processed: int = 0
+    rows_returned: int = 0
+    last_plan_text: str = ""
+    statement_log: List[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.statements = 0
+        self.rows_processed = 0
+        self.rows_returned = 0
+        self.last_plan_text = ""
+        self.statement_log.clear()
+
+
+class Database:
+    """A single simulated DBMS (PostgreSQL / MariaDB / Hive flavoured)."""
+
+    def __init__(
+        self,
+        name: str,
+        profile: str = "postgres",
+        node: Optional[str] = None,
+    ):
+        self.name = name
+        self.profile: EngineProfile = (
+            profile_for(profile) if isinstance(profile, str) else profile
+        )
+        #: name of the network node hosting this DBMS
+        self.node = node or name
+        self.catalog = Catalog(name)
+        self.dialect: Renderer = dialect_for(self.profile.dialect)
+        self.planner = LocalPlanner(self)
+        self.cost_model = CostModel(self.profile)
+        self.trace = ExecutionTrace()
+        self._servers: Dict[str, object] = {}
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, profile={self.profile.name!r})"
+
+    # -- setup helpers ----------------------------------------------------------
+
+    def create_table(
+        self, name: str, schema: Schema, rows=None, replace: bool = False
+    ) -> BaseTable:
+        """Directly register a stored table (bulk-load path)."""
+        table = BaseTable(name, schema, rows)
+        self.catalog.add(table, replace=replace)
+        return table
+
+    def register_server(self, name: str, server) -> None:
+        """Register a SQL/MED server (a :class:`RemoteServer`)."""
+        self._servers[name.lower()] = server
+
+    def server(self, name: str):
+        server = self._servers.get(name.lower())
+        if server is None:
+            raise CatalogError(
+                f"unknown server {name!r} on database {self.name!r}"
+            )
+        return server
+
+    def server_names(self) -> List[str]:
+        return sorted(self._servers)
+
+    def table_stats(self, name: str) -> Optional[TableStats]:
+        obj = self.catalog.get(name)
+        if isinstance(obj, BaseTable):
+            return obj.stats
+        return None
+
+    # -- the declarative interface -----------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Parse and execute one SQL statement (query or DDL)."""
+        self.trace.statements += 1
+        self.trace.statement_log.append(sql)
+        statement = parse_statement(sql)
+        return self._dispatch(statement)
+
+    def _dispatch(self, statement: ast.Statement) -> Result:
+        if isinstance(statement, ast.QUERY_STATEMENTS):
+            return self.execute_select(statement)
+        if isinstance(statement, ast.Explain):
+            info = self.explain_select(statement.query)
+            schema = Schema(
+                [Field("QUERY PLAN", _text_type())]
+            )
+            rows = [(line,) for line in info.plan_text.splitlines()]
+            result = Result(schema, rows, command="EXPLAIN")
+            result.explain_info = info  # type: ignore[attr-defined]
+            return result
+        if isinstance(statement, ast.CreateView):
+            return self._create_view(statement)
+        if isinstance(statement, ast.CreateForeignTable):
+            return self._create_foreign_table(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table_ddl(statement)
+        if isinstance(statement, ast.CreateTableAs):
+            return self._create_table_as(statement)
+        if isinstance(statement, ast.DropObject):
+            return self._drop(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        raise ExecutionError(
+            f"unsupported statement {type(statement).__name__}"
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def execute_select(self, select) -> Result:
+        """Execute a query AST (SELECT or UNION ALL)."""
+        plan = build_plan(select, self.catalog)
+        plan = self.planner.optimize(plan)
+        physical_plan = self.planner.to_physical(plan)
+        rows = list(physical_plan.rows())
+        self.trace.rows_processed += physical_plan.total_rows_processed()
+        self.trace.rows_returned += len(rows)
+        self.trace.last_plan_text = physical_plan.pretty()
+        return Result(plan.schema.unqualified(), rows)
+
+    def explain_select(self, select) -> ExplainInfo:
+        """Plan + cost a query without executing it (EXPLAIN)."""
+        plan = build_plan(select, self.catalog)
+        plan = self.planner.optimize(plan)
+        estimator = self.planner.make_estimator()
+        cost = self.cost_model.plan_cost(plan, estimator)
+        rows = estimator.estimate_rows(plan)
+        text = (
+            f"{plan.pretty()}\n"
+            f"  (rows={rows:.0f} cost={cost:.2f} engine={self.name})"
+        )
+        return ExplainInfo(
+            estimated_rows=rows,
+            total_cost=cost,
+            row_width=plan.schema.row_width(),
+            plan_text=text,
+        )
+
+    # -- DDL ------------------------------------------------------------------------
+
+    def _create_view(self, statement: ast.CreateView) -> Result:
+        # Validate eagerly: the defining query must bind.
+        build_plan(statement.query, self.catalog)
+        view = View(statement.name, statement.query)
+        self.catalog.add(view, replace=statement.or_replace)
+        return Result(Schema([]), [], command="CREATE VIEW")
+
+    def _create_foreign_table(
+        self, statement: ast.CreateForeignTable
+    ) -> Result:
+        self.server(statement.server)  # must exist
+        schema = Schema(
+            [Field(col.name, col.type) for col in statement.columns]
+        )
+        table = ForeignTable(
+            statement.name, schema, statement.server, statement.remote_object
+        )
+        self.catalog.add(table)
+        return Result(Schema([]), [], command="CREATE FOREIGN TABLE")
+
+    def _create_table_ddl(self, statement: ast.CreateTable) -> Result:
+        schema = Schema(
+            [Field(col.name, col.type) for col in statement.columns]
+        )
+        table = BaseTable(
+            statement.name, schema, temporary=statement.temporary
+        )
+        self.catalog.add(table)
+        return Result(Schema([]), [], command="CREATE TABLE")
+
+    def _create_table_as(self, statement: ast.CreateTableAs) -> Result:
+        result = self.execute_select(statement.query)
+        table = BaseTable(
+            statement.name,
+            result.schema,
+            result.rows,
+            temporary=statement.temporary,
+        )
+        self.catalog.add(table)
+        return Result(Schema([]), [], command="CREATE TABLE AS")
+
+    def _drop(self, statement: ast.DropObject) -> Result:
+        obj = self.catalog.get(statement.name)
+        if obj is None:
+            if statement.if_exists:
+                return Result(Schema([]), [], command="DROP")
+            raise CatalogError(
+                f"object {statement.name!r} does not exist in database "
+                f"{self.name!r}"
+            )
+        self.catalog.drop(statement.name, statement.kind)
+        return Result(Schema([]), [], command="DROP")
+
+    def _insert(self, statement: ast.Insert) -> Result:
+        obj = self.catalog.require(statement.table)
+        if not isinstance(obj, BaseTable):
+            raise ExecutionError(
+                f"cannot INSERT into {obj.kind} {statement.table!r}"
+            )
+        if statement.columns:
+            indices = [
+                obj.schema.resolve(name) for name in statement.columns
+            ]
+        else:
+            indices = list(range(len(obj.schema)))
+        empty = Schema([])
+        rows = []
+        for value_exprs in statement.rows:
+            if len(value_exprs) != len(indices):
+                raise ExecutionError(
+                    f"INSERT row arity {len(value_exprs)} does not match "
+                    f"{len(indices)} target columns"
+                )
+            row: List[object] = [None] * len(obj.schema)
+            for index, expr in zip(indices, value_exprs):
+                row[index] = compile_expression(expr, empty).fn(())
+            rows.append(tuple(row))
+        count = obj.insert(rows)
+        return Result(Schema([]), [], command=f"INSERT {count}")
+
+
+def _text_type():
+    from repro.sql.types import varchar
+
+    return varchar()

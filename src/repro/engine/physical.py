@@ -1,0 +1,437 @@
+"""Physical operators: a pull-based (iterator) query executor.
+
+Operators compile their expressions once at construction and stream row
+tuples.  Every operator counts the rows it produces (``rows_out``), which
+feeds the execution statistics the schedule simulator consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.algebra import AggregateSpec
+from repro.relational.schema import Schema
+
+RowFn = Callable[[tuple], object]
+
+
+class PhysicalPlan:
+    """Base class for physical operators."""
+
+    schema: Schema
+
+    def __init__(self) -> None:
+        self.rows_out = 0
+
+    def rows(self) -> Iterator[tuple]:
+        """Stream output rows, counting them as a side effect."""
+        for row in self._produce():
+            self.rows_out += 1
+            yield row
+
+    def _produce(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def children(self) -> List["PhysicalPlan"]:
+        return []
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def total_rows_processed(self) -> int:
+        """Rows produced by this whole subtree (a simple work measure)."""
+        return self.rows_out + sum(
+            child.total_rows_processed() for child in self.children()
+        )
+
+
+class SeqScan(PhysicalPlan):
+    """Full scan of a stored table."""
+
+    def __init__(self, table_name: str, schema: Schema, rows: List[tuple]):
+        super().__init__()
+        self.table_name = table_name
+        self.schema = schema
+        self._rows = rows
+
+    def _produce(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def label(self) -> str:
+        return f"SeqScan[{self.table_name}]"
+
+
+class ValuesScan(PhysicalPlan):
+    """Scan over an in-memory row list (materialized intermediates)."""
+
+    def __init__(self, schema: Schema, rows: List[tuple], name: str = "values"):
+        super().__init__()
+        self.schema = schema
+        self._rows = rows
+        self.name = name
+
+    def _produce(self) -> Iterator[tuple]:
+        return iter(self._rows)
+
+    def label(self) -> str:
+        return f"ValuesScan[{self.name}]"
+
+
+class FilterOp(PhysicalPlan):
+    """Row selection by a compiled predicate."""
+
+    def __init__(self, child: PhysicalPlan, predicate: RowFn, text: str = ""):
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        self.text = text
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child.rows():
+            if predicate(row):
+                yield row
+
+    def label(self) -> str:
+        return f"Filter[{self.text}]" if self.text else "Filter"
+
+
+class ProjectOp(PhysicalPlan):
+    """Column computation by a list of compiled expressions."""
+
+    def __init__(
+        self, child: PhysicalPlan, fns: Sequence[RowFn], schema: Schema
+    ):
+        super().__init__()
+        self.child = child
+        self.fns = list(fns)
+        self.schema = schema
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self) -> Iterator[tuple]:
+        fns = self.fns
+        for row in self.child.rows():
+            yield tuple(fn(row) for fn in fns)
+
+    def label(self) -> str:
+        return f"Project[{len(self.fns)} cols]"
+
+
+class HashJoin(PhysicalPlan):
+    """Equi hash join; builds on the right input, probes with the left.
+
+    SQL semantics: NULL keys never match.  ``kind`` is INNER or LEFT;
+    ``residual`` is an optional extra predicate over the joined row.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        left_keys: Sequence[RowFn],
+        right_keys: Sequence[RowFn],
+        schema: Schema,
+        kind: str = "INNER",
+        residual: Optional[RowFn] = None,
+    ):
+        super().__init__()
+        if kind not in ("INNER", "LEFT"):
+            raise ExecutionError(f"unsupported hash-join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.schema = schema
+        self.kind = kind
+        self.residual = residual
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.left, self.right]
+
+    def _produce(self) -> Iterator[tuple]:
+        table: Dict[tuple, List[tuple]] = {}
+        right_keys = self.right_keys
+        for row in self.right.rows():
+            key = tuple(fn(row) for fn in right_keys)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(row)
+
+        left_keys = self.left_keys
+        residual = self.residual
+        pad = (None,) * len(self.right.schema)
+        left_outer = self.kind == "LEFT"
+
+        for row in self.left.rows():
+            key = tuple(fn(row) for fn in left_keys)
+            matched = False
+            if not any(value is None for value in key):
+                for right_row in table.get(key, ()):
+                    joined = row + right_row
+                    if residual is None or residual(joined):
+                        matched = True
+                        yield joined
+            if left_outer and not matched:
+                yield row + pad
+
+    def label(self) -> str:
+        return f"HashJoin[{self.kind}, {len(self.left_keys)} keys]"
+
+
+class NestedLoopJoin(PhysicalPlan):
+    """Fallback join for non-equi conditions and cross joins."""
+
+    def __init__(
+        self,
+        left: PhysicalPlan,
+        right: PhysicalPlan,
+        schema: Schema,
+        condition: Optional[RowFn] = None,
+        kind: str = "INNER",
+    ):
+        super().__init__()
+        if kind not in ("INNER", "LEFT", "CROSS"):
+            raise ExecutionError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.schema = schema
+        self.condition = condition
+        self.kind = kind
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.left, self.right]
+
+    def _produce(self) -> Iterator[tuple]:
+        right_rows = list(self.right.rows())
+        condition = self.condition
+        pad = (None,) * len(self.right.schema)
+        left_outer = self.kind == "LEFT"
+        for row in self.left.rows():
+            matched = False
+            for right_row in right_rows:
+                joined = row + right_row
+                if condition is None or condition(joined):
+                    matched = True
+                    yield joined
+            if left_outer and not matched:
+                yield row + pad
+
+    def label(self) -> str:
+        return f"NestedLoopJoin[{self.kind}]"
+
+
+class _Accumulator:
+    """One aggregate state cell."""
+
+    __slots__ = ("func", "distinct", "count", "total", "extreme", "seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total = None
+        self.extreme = None
+        self.seen = set() if distinct else None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "MIN":
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif self.func == "MAX":
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+
+    def result(self) -> object:
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return None if self.count == 0 else self.total / self.count
+        return self.extreme
+
+
+class _CountStar:
+    """Sentinel standing in for the argument of COUNT(*)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<count(*)>"
+
+
+_COUNT_STAR = _CountStar()
+
+
+class HashAggregate(PhysicalPlan):
+    """Hash aggregation over compiled group keys and aggregate specs.
+
+    With no group keys, always emits exactly one row (SQL's scalar
+    aggregate semantics over an empty input).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        key_fns: Sequence[RowFn],
+        specs: Sequence[Tuple[AggregateSpec, Optional[RowFn]]],
+        schema: Schema,
+    ):
+        super().__init__()
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.specs = list(specs)
+        self.schema = schema
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self) -> Iterator[tuple]:
+        groups: Dict[tuple, List[_Accumulator]] = {}
+        key_fns = self.key_fns
+        specs = self.specs
+
+        for row in self.child.rows():
+            key = tuple(fn(row) for fn in key_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    _Accumulator(spec.func, spec.distinct)
+                    for spec, _ in specs
+                ]
+                groups[key] = accumulators
+            for accumulator, (spec, arg_fn) in zip(accumulators, specs):
+                value = _COUNT_STAR if arg_fn is None else arg_fn(row)
+                accumulator.add(value)
+
+        if not groups and not key_fns:
+            accumulators = [
+                _Accumulator(spec.func, spec.distinct) for spec, _ in specs
+            ]
+            yield tuple(acc.result() for acc in accumulators)
+            return
+
+        for key, accumulators in groups.items():
+            yield key + tuple(acc.result() for acc in accumulators)
+
+    def label(self) -> str:
+        return (
+            f"HashAggregate[{len(self.key_fns)} keys, "
+            f"{len(self.specs)} aggs]"
+        )
+
+
+class UnionAllOp(PhysicalPlan):
+    """Concatenation of two positionally compatible inputs."""
+
+    def __init__(self, left: PhysicalPlan, right: PhysicalPlan, schema: Schema):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.schema = schema
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.left, self.right]
+
+    def _produce(self) -> Iterator[tuple]:
+        for row in self.left.rows():
+            yield row
+        for row in self.right.rows():
+            yield row
+
+
+class SortOp(PhysicalPlan):
+    """Full sort; NULLS LAST for ascending keys, FIRST for descending."""
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        keys: Sequence[Tuple[RowFn, bool]],
+    ):
+        super().__init__()
+        self.child = child
+        self.keys = list(keys)
+        self.schema = child.schema
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self) -> Iterator[tuple]:
+        rows = list(self.child.rows())
+        # Stable sorts applied from the least-significant key backwards.
+        for key_fn, ascending in reversed(self.keys):
+
+            def sort_key(row, key_fn=key_fn):
+                value = key_fn(row)
+                return (1, 0) if value is None else (0, value)
+
+            rows.sort(key=sort_key, reverse=not ascending)
+        return iter(rows)
+
+    def label(self) -> str:
+        return f"Sort[{len(self.keys)} keys]"
+
+
+class LimitOp(PhysicalPlan):
+    """Stop after ``count`` rows."""
+
+    def __init__(self, child: PhysicalPlan, count: int):
+        super().__init__()
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self) -> Iterator[tuple]:
+        if self.count <= 0:
+            return
+        produced = 0
+        for row in self.child.rows():
+            produced += 1
+            yield row
+            if produced >= self.count:
+                return
+
+    def label(self) -> str:
+        return f"Limit[{self.count}]"
+
+
+class DistinctOp(PhysicalPlan):
+    """Duplicate elimination via a seen-set over whole rows."""
+
+    def __init__(self, child: PhysicalPlan):
+        super().__init__()
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> List[PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self) -> Iterator[tuple]:
+        seen = set()
+        for row in self.child.rows():
+            if row not in seen:
+                seen.add(row)
+                yield row

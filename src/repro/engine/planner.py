@@ -1,0 +1,324 @@
+"""The engine-local planner: logical plan → physical plan.
+
+Runs the shared logical rewrites (filter pushdown, join reordering,
+projection pruning) with the engine's own statistics, then lowers the
+plan to physical operators, choosing hash joins for equi conditions and
+pushing work into foreign wrappers according to the vendor profile's
+capabilities.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.engine import physical
+from repro.engine.catalog import BaseTable, ForeignTable
+from repro.engine.cost import CardinalityEstimator, ScanStats
+from repro.engine.fdw import ForeignScan, build_remote_query, strip_qualifiers
+from repro.errors import CatalogError, ExecutionError
+from repro.relational import algebra
+from repro.relational.expressions import compile_expression, compile_predicate
+from repro.relational.optimizer import (
+    prune_columns,
+    push_filters,
+    reorder_joins,
+)
+from repro.sql import ast
+from repro.sql.render import render
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.database import Database
+
+
+class LocalPlanner:
+    """Plans and lowers queries for one :class:`Database`."""
+
+    def __init__(self, database: "Database"):
+        self._db = database
+
+    # -- logical optimization ----------------------------------------------
+
+    def scan_stats(self, scan: algebra.Scan) -> ScanStats:
+        """Statistics provider backing the cardinality estimator."""
+        obj = self._db.catalog.get(scan.table)
+        if isinstance(obj, BaseTable):
+            stats = obj.stats
+            return ScanStats(
+                row_count=float(stats.row_count), columns=stats.columns
+            )
+        if isinstance(obj, ForeignTable):
+            server = self._db.server(obj.server)
+            remote_stats = server.remote_table_stats(obj.remote_object)
+            if remote_stats is not None:
+                return ScanStats(
+                    row_count=float(remote_stats.row_count),
+                    columns=remote_stats.columns,
+                )
+            rows = server.remote_row_estimate(obj.remote_object)
+            return ScanStats(row_count=rows, columns={})
+        if scan.placeholder:
+            rows = scan.estimated_rows if scan.estimated_rows else 1000.0
+            return ScanStats(row_count=rows, columns={})
+        raise CatalogError(f"cannot scan object {scan.table!r}")
+
+    def make_estimator(self) -> CardinalityEstimator:
+        return CardinalityEstimator(self.scan_stats)
+
+    def optimize(self, plan: algebra.LogicalPlan) -> algebra.LogicalPlan:
+        """Run the logical rewrite pipeline with local statistics."""
+        plan = push_filters(plan)
+        estimator = self.make_estimator()
+        plan = reorder_joins(
+            plan,
+            cardinality=estimator.estimate_rows,
+            ndv=estimator.estimate_ndv,
+        )
+        plan = prune_columns(plan)
+        return plan
+
+    # -- physical lowering -----------------------------------------------------
+
+    def to_physical(self, plan: algebra.LogicalPlan) -> physical.PhysicalPlan:
+        pushed = self._try_foreign_pushdown(plan)
+        if pushed is not None:
+            return pushed
+
+        if isinstance(plan, algebra.Scan):
+            return self._plan_scan(plan)
+
+        if isinstance(plan, algebra.Filter):
+            child = self.to_physical(plan.child)
+            predicate = compile_predicate(plan.predicate, plan.child.schema)
+            return physical.FilterOp(
+                child, predicate, text=render(plan.predicate)
+            )
+
+        if isinstance(plan, algebra.Project):
+            child = self.to_physical(plan.child)
+            fns = [
+                compile_expression(item.expr, plan.child.schema).fn
+                for item in plan.items
+            ]
+            return physical.ProjectOp(child, fns, plan.schema)
+
+        if isinstance(plan, algebra.Alias):
+            # Pure renaming: execution is the child's.
+            child = self.to_physical(plan.child)
+            return _Rebind(child, plan.schema)
+
+        if isinstance(plan, algebra.Join):
+            return self._plan_join(plan)
+
+        if isinstance(plan, algebra.Union):
+            return physical.UnionAllOp(
+                self.to_physical(plan.left),
+                self.to_physical(plan.right),
+                plan.schema,
+            )
+
+        if isinstance(plan, algebra.Aggregate):
+            child = self.to_physical(plan.child)
+            key_fns = [
+                compile_expression(key.expr, plan.child.schema).fn
+                for key in plan.keys
+            ]
+            specs = []
+            for spec in plan.aggregates:
+                arg_fn = (
+                    compile_expression(spec.arg, plan.child.schema).fn
+                    if spec.arg is not None
+                    else None
+                )
+                specs.append((spec, arg_fn))
+            return physical.HashAggregate(child, key_fns, specs, plan.schema)
+
+        if isinstance(plan, algebra.Sort):
+            child = self.to_physical(plan.child)
+            keys = [
+                (
+                    compile_expression(key.expr, plan.child.schema).fn,
+                    key.ascending,
+                )
+                for key in plan.keys
+            ]
+            return physical.SortOp(child, keys)
+
+        if isinstance(plan, algebra.Limit):
+            return physical.LimitOp(self.to_physical(plan.child), plan.count)
+
+        if isinstance(plan, algebra.Distinct):
+            return physical.DistinctOp(self.to_physical(plan.child))
+
+        raise ExecutionError(
+            f"cannot lower logical node {type(plan).__name__}"
+        )
+
+    # -- scans ----------------------------------------------------------------
+
+    def _plan_scan(self, scan: algebra.Scan) -> physical.PhysicalPlan:
+        if scan.placeholder:
+            raise ExecutionError(
+                f"placeholder scan {scan.table!r} reached the local "
+                "executor; delegation must resolve placeholders first"
+            )
+        obj = self._db.catalog.require(scan.table)
+        if isinstance(obj, BaseTable):
+            return physical.SeqScan(obj.name, scan.schema, obj.rows)
+        if isinstance(obj, ForeignTable):
+            server = self._db.server(obj.server)
+            remote_query = build_remote_query(obj.remote_object)
+            return ForeignScan(
+                server,
+                remote_query,
+                scan.schema,
+                tag=f"fdw:{obj.remote_object.lower()}",
+            )
+        raise CatalogError(f"cannot scan object {scan.table!r}")
+
+    def _try_foreign_pushdown(
+        self, plan: algebra.LogicalPlan
+    ) -> Optional[physical.PhysicalPlan]:
+        """Lower Project/Filter-over-foreign-scan with wrapper pushdown.
+
+        Which pieces execute remotely depends on the engine profile —
+        this is exactly the vendor variance the paper's virtual-relation
+        technique (§V, "Preventing Undesirable Executions") sidesteps.
+        """
+        project: Optional[algebra.Project] = None
+        filter_node: Optional[algebra.Filter] = None
+        node = plan
+        if isinstance(node, algebra.Project):
+            project = node
+            node = node.child
+        if isinstance(node, algebra.Filter):
+            filter_node = node
+            node = node.child
+        # The column pruner inserts a pass-through projection directly over
+        # scans; see through it (its narrowing is recomputed below).
+        if isinstance(node, algebra.Project) and all(
+            isinstance(item.expr, ast.ColumnRef)
+            and item.expr.name == item.name
+            for item in node.items
+        ):
+            if project is None:
+                project = node
+            node = node.child
+        if not isinstance(node, algebra.Scan) or node.placeholder:
+            return None
+        if project is None and filter_node is None:
+            return None
+        obj = self._db.catalog.get(node.table)
+        if not isinstance(obj, ForeignTable):
+            return None
+
+        profile = self._db.profile
+        server = self._db.server(obj.server)
+
+        remote_where: Optional[ast.Expression] = None
+        local_filter: Optional[algebra.Filter] = filter_node
+        if filter_node is not None and profile.pushdown_filters:
+            remote_where = strip_qualifiers(filter_node.predicate)
+            local_filter = None
+
+        remote_columns: Optional[List[str]] = None
+        fetched_fields = list(node.schema.fields)
+        if profile.pushdown_projections:
+            needed = []
+            if project is not None:
+                for item in project.items:
+                    for ref in ast.column_refs(item.expr):
+                        index = node.schema.resolve(ref.name, ref.table)
+                        if index not in needed:
+                            needed.append(index)
+            else:
+                needed = list(range(len(node.schema)))
+            if local_filter is not None:
+                for ref in ast.column_refs(local_filter.predicate):
+                    index = node.schema.resolve(ref.name, ref.table)
+                    if index not in needed:
+                        needed.append(index)
+            if project is not None and len(needed) < len(node.schema):
+                needed.sort()
+                fetched_fields = [node.schema[i] for i in needed]
+                remote_columns = [field.name for field in fetched_fields]
+
+        from repro.relational.schema import Schema
+
+        fetched_schema = Schema(fetched_fields)
+        remote_query = build_remote_query(
+            obj.remote_object, remote_columns, remote_where
+        )
+        result: physical.PhysicalPlan = ForeignScan(
+            server,
+            remote_query,
+            fetched_schema,
+            tag=f"fdw:{obj.remote_object.lower()}",
+        )
+
+        if local_filter is not None:
+            predicate = compile_predicate(
+                local_filter.predicate, fetched_schema
+            )
+            result = physical.FilterOp(
+                result, predicate, text=render(local_filter.predicate)
+            )
+        if project is not None:
+            fns = [
+                compile_expression(item.expr, fetched_schema).fn
+                for item in project.items
+            ]
+            result = physical.ProjectOp(result, fns, project.schema)
+        return result
+
+    # -- joins ----------------------------------------------------------------
+
+    def _plan_join(self, plan: algebra.Join) -> physical.PhysicalPlan:
+        left = self.to_physical(plan.left)
+        right = self.to_physical(plan.right)
+
+        if plan.condition is None:
+            return physical.NestedLoopJoin(
+                left, right, plan.schema, None, plan.kind
+            )
+
+        keys = plan.equi_keys()
+        if keys is None:
+            condition = compile_predicate(plan.condition, plan.schema)
+            return physical.NestedLoopJoin(
+                left, right, plan.schema, condition, plan.kind
+            )
+
+        left_fns = [
+            compile_expression(left_ref, plan.left.schema).fn
+            for left_ref, _ in keys
+        ]
+        right_fns = [
+            compile_expression(right_ref, plan.right.schema).fn
+            for _, right_ref in keys
+        ]
+        return physical.HashJoin(
+            left,
+            right,
+            left_fns,
+            right_fns,
+            plan.schema,
+            kind="INNER" if plan.kind == "INNER" else plan.kind,
+        )
+
+
+class _Rebind(physical.PhysicalPlan):
+    """Schema-only wrapper implementing logical Alias at runtime."""
+
+    def __init__(self, child: physical.PhysicalPlan, schema):
+        super().__init__()
+        self.child = child
+        self.schema = schema
+
+    def children(self) -> List[physical.PhysicalPlan]:
+        return [self.child]
+
+    def _produce(self):
+        return self.child.rows()
+
+    def label(self) -> str:
+        return "Rebind"

@@ -1,0 +1,80 @@
+"""Query results returned by engines and connectors."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.relational.schema import Schema
+
+
+class Result:
+    """A materialized query result: rows plus output schema.
+
+    ``command`` describes non-query statements (e.g. ``"CREATE VIEW"``)
+    for which ``rows`` is empty.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[tuple],
+        command: Optional[str] = None,
+    ):
+        self.schema = schema
+        self.rows: List[tuple] = list(rows)
+        self.command = command
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def byte_size(self) -> int:
+        """Estimated wire size of this result (schema width × rows)."""
+        return self.schema.row_width() * len(self.rows)
+
+    def sorted_rows(self) -> List[tuple]:
+        """Rows under a total order (None sorts first) — for comparisons."""
+
+        def key(row: tuple) -> Tuple:
+            return tuple(
+                (value is not None, str(type(value)), value)
+                if value is not None
+                else (False, "", 0)
+                for value in row
+            )
+
+        return sorted(self.rows, key=key)
+
+    def to_table(self, max_rows: int = 20) -> str:
+        """Human-readable fixed-width rendering (for examples / demos)."""
+        names = self.column_names
+        shown = self.rows[:max_rows]
+        cells = [[_fmt(value) for value in row] for row in shown]
+        widths = [
+            max(len(names[i]), *(len(row[i]) for row in cells))
+            if cells
+            else len(names[i])
+            for i in range(len(names))
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

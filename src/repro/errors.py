@@ -1,0 +1,67 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subsystems raise the most
+specific subclass available; error messages always carry enough context
+(object names, positions) to debug a failing query without a stack trace.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SQLError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} at line {line}, column {column}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(SQLError):
+    """Raised when the parser cannot derive a statement from the tokens."""
+
+
+class BindError(ReproError):
+    """Raised when names in a query cannot be resolved against a catalog."""
+
+
+class TypeCheckError(ReproError):
+    """Raised when an expression is applied to incompatible types."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown / duplicate tables, views, servers, or columns."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during evaluation."""
+
+
+class ConnectorError(ReproError):
+    """Raised when a DBMS connector cannot reach or drive its database."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid simulated-network configurations or routes."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the cross-database optimizer cannot produce a plan."""
+
+
+class DelegationError(ReproError):
+    """Raised when a delegation plan cannot be deployed onto the DBMSes."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload configurations (scale factors, TDs)."""

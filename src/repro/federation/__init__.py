@@ -1,0 +1,5 @@
+"""Federation: a deployment of autonomous DBMSes on a simulated network."""
+
+from repro.federation.deployment import Deployment
+
+__all__ = ["Deployment"]

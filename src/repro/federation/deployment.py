@@ -1,0 +1,199 @@
+"""Deployments: the cross-database environment of the experiments.
+
+A deployment owns
+
+* one :class:`~repro.net.network.Network` (on-premise or geo-distributed),
+* N autonomous :class:`~repro.engine.database.Database` instances (one
+  per node, as in the paper's testbed),
+* the full mesh of SQL/MED server registrations between them (binary
+  protocol between same-vendor pairs, JDBC otherwise),
+* one :class:`~repro.connect.connector.DBMSConnector` per database for
+  the middleware node.
+
+The middleware ("xdb") and the client live on cloud nodes, mirroring the
+paper's managed-cloud scenario of §VI-C.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.connect.connector import DBMSConnector
+from repro.engine.database import Database
+from repro.engine.fdw import RemoteServer
+from repro.errors import CatalogError, NetworkError
+from repro.net.network import Network
+from repro.relational.schema import Schema
+
+MIDDLEWARE_NODE = "xdb"
+CLIENT_NODE = "client"
+
+
+def protocol_between(profile_a: str, profile_b: str) -> str:
+    """Same-vendor PostgreSQL pairs speak the binary protocol; anything
+    heterogeneous falls back to ODBC/JDBC (as in the paper's Fig. 10
+    setup)."""
+    if profile_a == "postgres" and profile_b == "postgres":
+        return "binary"
+    return "jdbc"
+
+
+def _protocol_between(a: Database, b: Database) -> str:
+    return protocol_between(a.profile.name, b.profile.name)
+
+
+class Deployment:
+    """A set of databases wired together on a simulated network."""
+
+    def __init__(
+        self,
+        profiles: Mapping[str, str],
+        topology: str = "onprem",
+        middleware_node: str = MIDDLEWARE_NODE,
+        client_node: str = CLIENT_NODE,
+        middleware_site: Optional[str] = None,
+    ):
+        """Create databases named per ``profiles`` (name → vendor).
+
+        ``topology`` is ``"onprem"`` (DBMS LAN) or ``"geo"`` (every DBMS
+        in its own data center).  ``middleware_site`` places the
+        middleware/mediator node: defaults to the DBMS LAN for the
+        runtime experiments ("onprem") and to the cloud for geo setups;
+        pass ``"cloud"`` explicitly for the §VI-C managed-cloud cost
+        scenario.
+        """
+        names = list(profiles)
+        if topology == "onprem":
+            self.network = Network.on_premise(
+                names,
+                client_node=client_node,
+                middleware_nodes=[middleware_node],
+                middleware_site=middleware_site or "onprem",
+            )
+        elif topology == "geo":
+            self.network = Network.geo_distributed(
+                names,
+                client_node=client_node,
+                middleware_nodes=[middleware_node],
+                middleware_site=middleware_site or "cloud",
+            )
+        else:
+            raise NetworkError(f"unknown topology {topology!r}")
+        self.topology = topology
+        self.middleware_site = self.network.node_site(middleware_node)
+        self.middleware_node = middleware_node
+        self.client_node = client_node
+
+        self.databases: Dict[str, Database] = {}
+        for name, profile in profiles.items():
+            self.databases[name] = Database(name, profile=profile, node=name)
+
+        self._wire_servers()
+
+        self.connectors: Dict[str, DBMSConnector] = {
+            name: DBMSConnector(
+                database,
+                self.network,
+                middleware_node,
+                protocol="binary"
+                if database.profile.name == "postgres"
+                else "jdbc",
+            )
+            for name, database in self.databases.items()
+        }
+
+    # -- wiring ----------------------------------------------------------------
+
+    def _wire_servers(self) -> None:
+        """Register the full SQL/MED server mesh between all databases."""
+        for local in self.databases.values():
+            for remote in self.databases.values():
+                if local.name == remote.name:
+                    continue
+                local.register_server(
+                    remote.name,
+                    RemoteServer(
+                        name=remote.name,
+                        remote=remote,
+                        network=self.network,
+                        local_node=local.node,
+                        remote_node=remote.node,
+                        protocol=_protocol_between(local, remote),
+                    ),
+                )
+
+    def add_auxiliary_database(
+        self, name: str, profile: str, node_site: Optional[str] = None
+    ) -> Database:
+        """Add a database outside the federation (e.g. a mediator).
+
+        The new database gets servers to every federation member, but
+        members do *not* get a server back (it is not one of them).
+        The node defaults to the middleware's site, so mediators and
+        XDB are compared from the same vantage point.
+        """
+        if name in self.databases:
+            raise CatalogError(f"database {name!r} already exists")
+        self.network.add_node(name, site=node_site or self.middleware_site)
+        database = Database(name, profile=profile, node=name)
+        for remote in self.databases.values():
+            database.register_server(
+                remote.name,
+                RemoteServer(
+                    name=remote.name,
+                    remote=remote,
+                    network=self.network,
+                    local_node=database.node,
+                    remote_node=remote.node,
+                    protocol=_protocol_between(database, remote),
+                ),
+            )
+        return database
+
+    # -- access ------------------------------------------------------------------
+
+    def database(self, name: str) -> Database:
+        try:
+            return self.databases[name]
+        except KeyError:
+            raise CatalogError(f"unknown database {name!r}")
+
+    def connector(self, name: str) -> DBMSConnector:
+        try:
+            return self.connectors[name]
+        except KeyError:
+            raise CatalogError(f"no connector for database {name!r}")
+
+    def database_names(self) -> List[str]:
+        return list(self.databases)
+
+    # -- data loading ----------------------------------------------------------------
+
+    def load_table(
+        self, db_name: str, table: str, schema: Schema, rows: Iterable[tuple]
+    ) -> None:
+        self.database(db_name).create_table(table, schema, list(rows))
+
+    def load_distribution(
+        self,
+        placement: Mapping[str, str],
+        tables: Mapping[str, Tuple[Schema, List[tuple]]],
+    ) -> None:
+        """Load ``tables`` (name → (schema, rows)) per ``placement``
+        (table name → database name)."""
+        for table_name, db_name in placement.items():
+            schema, rows = tables[table_name]
+            self.load_table(db_name, table_name, schema, rows)
+
+    # -- metrics ------------------------------------------------------------------------
+
+    def reset_metrics(self) -> None:
+        """Clear the network ledger, traces, and connector counters."""
+        self.network.reset_log()
+        for database in self.databases.values():
+            database.trace.reset()
+        for connector in self.connectors.values():
+            connector.reset_counters()
+
+    def transfer_log(self):
+        return list(self.network.log)

@@ -1,0 +1,18 @@
+"""Simulated network: nodes, links, and transfer accounting.
+
+The network never moves real bytes — engines run in-process — but every
+inter-DBMS fetch and every control message is recorded here, which is
+what the paper's data-transfer experiments (Fig. 1 shading, Fig. 14)
+measure, and what the schedule simulator uses to derive transfer times.
+"""
+
+from repro.net.network import LinkSpec, Network, TransferRecord
+from repro.net.metrics import TransferSummary, summarize
+
+__all__ = [
+    "LinkSpec",
+    "Network",
+    "TransferRecord",
+    "TransferSummary",
+    "summarize",
+]

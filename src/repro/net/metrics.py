@@ -1,0 +1,67 @@
+"""Aggregations over the network transfer ledger."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.network import Network, TransferRecord
+
+
+@dataclass
+class TransferSummary:
+    """Aggregate view over a slice of the transfer log."""
+
+    total_bytes: int = 0
+    total_rows: int = 0
+    transfer_count: int = 0
+    by_tag: Dict[str, int] = field(default_factory=dict)
+    by_edge: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    @property
+    def total_megabytes(self) -> float:
+        return self.total_bytes / 1_000_000.0
+
+    def bytes_for_tag(self, tag_prefix: str) -> int:
+        return sum(
+            count
+            for tag, count in self.by_tag.items()
+            if tag.startswith(tag_prefix)
+        )
+
+
+def summarize(
+    records: Iterable[TransferRecord],
+    network: Optional[Network] = None,
+    cross_site_only: bool = False,
+) -> TransferSummary:
+    """Aggregate ``records``; optionally keep only WAN-crossing traffic."""
+    summary = TransferSummary()
+    for record in records:
+        if cross_site_only:
+            if network is None:
+                raise ValueError(
+                    "cross_site_only summaries need the network topology"
+                )
+            if not network.is_cross_site(record.src, record.dst):
+                continue
+        summary.total_bytes += record.payload_bytes
+        summary.total_rows += record.rows
+        summary.transfer_count += 1
+        summary.by_tag[record.tag] = (
+            summary.by_tag.get(record.tag, 0) + record.payload_bytes
+        )
+        edge = (record.src, record.dst)
+        summary.by_edge[edge] = (
+            summary.by_edge.get(edge, 0) + record.payload_bytes
+        )
+    return summary
+
+
+def edge_rows(records: Iterable[TransferRecord]) -> Dict[Tuple[str, str], int]:
+    """Rows moved per (src, dst) edge — feeds Table IV style analyses."""
+    rows: Dict[Tuple[str, str], int] = {}
+    for record in records:
+        edge = (record.src, record.dst)
+        rows[edge] = rows.get(edge, 0) + record.rows
+    return rows

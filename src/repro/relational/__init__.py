@@ -1,0 +1,42 @@
+"""Relational core: schemas, compiled expressions, and logical algebra.
+
+This layer is shared between the single-node engines
+(:mod:`repro.engine`) and the XDB cross-database optimizer
+(:mod:`repro.core`): both operate on the same logical operator tree and
+the same compiled-expression machinery.
+"""
+
+from repro.relational.schema import Field, Schema
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Alias,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    Union,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Alias",
+    "Distinct",
+    "Field",
+    "Filter",
+    "Join",
+    "Limit",
+    "LogicalPlan",
+    "Project",
+    "Scan",
+    "Schema",
+    "Sort",
+    "SortKey",
+    "Union",
+]

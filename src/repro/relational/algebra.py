@@ -1,0 +1,463 @@
+"""Logical relational algebra operators.
+
+The same operator tree is used by the local engine planner and by XDB's
+cross-database optimizer.  Nodes carry *AST* expressions (never compiled
+closures) so any subtree can be decompiled back into SQL text — that is
+the mechanism the delegation engine and the mediator baselines use to
+push work into DBMSes.
+
+Every node exposes:
+
+* ``schema`` — the output :class:`~repro.relational.schema.Schema`;
+* ``children()`` — input operators;
+* ``with_children(new_children)`` — functional rewrite support;
+* ``estimated_rows`` — an optimizer-filled cardinality slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import BindError, TypeCheckError
+from repro.relational.expressions import compile_expression
+from repro.relational.schema import Field, Schema
+from repro.sql import ast
+from repro.sql.types import BIGINT, DOUBLE, SQLType, TypeKind
+
+
+class LogicalPlan:
+    """Base class for logical operators."""
+
+    schema: Schema
+    estimated_rows: Optional[float]
+
+    def __init__(self) -> None:
+        self.estimated_rows = None
+
+    def children(self) -> List["LogicalPlan"]:
+        return []
+
+    def with_children(
+        self, children: Sequence["LogicalPlan"]
+    ) -> "LogicalPlan":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    # -- debugging -------------------------------------------------------
+
+    def label(self) -> str:
+        """One-line description used by EXPLAIN-style output."""
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def leaves(self) -> List["Scan"]:
+        """All scan leaves in this subtree, left to right."""
+        if isinstance(self, Scan):
+            return [self]
+        found: List[Scan] = []
+        for child in self.children():
+            found.extend(child.leaves())
+        return found
+
+
+class Scan(LogicalPlan):
+    """A leaf: scanning a stored relation (or a placeholder, see below).
+
+    ``source_db`` records the DBMS the relation lives on — the annotation
+    the XDB optimizer's Rule 1 starts from.  ``placeholder`` marks the
+    dummy operator the plan finalizer inserts at task boundaries (the
+    "?" of the paper's notation).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        binding: str,
+        schema: Schema,
+        source_db: Optional[str] = None,
+        placeholder: bool = False,
+        requalify: bool = True,
+    ):
+        super().__init__()
+        self.table = table
+        self.binding = binding
+        # Placeholder scans keep the producing task's field qualifiers so
+        # the consumer task's expressions keep resolving unchanged.
+        self.schema = schema.requalified(binding) if requalify else schema
+        self.source_db = source_db
+        self.placeholder = placeholder
+
+    def label(self) -> str:
+        where = f"@{self.source_db}" if self.source_db else ""
+        mark = "?" if self.placeholder else self.table
+        alias = f" AS {self.binding}" if self.binding != self.table else ""
+        return f"Scan[{mark}{alias}]{where}"
+
+
+class Filter(LogicalPlan):
+    """Row selection by a boolean predicate."""
+
+    def __init__(self, child: LogicalPlan, predicate: ast.Expression):
+        super().__init__()
+        self.child = child
+        self.predicate = predicate
+        self.schema = child.schema
+        # Type-check eagerly so malformed predicates fail at plan time.
+        compiled = compile_expression(predicate, child.schema)
+        if compiled.type.kind not in (TypeKind.BOOLEAN, TypeKind.NULL):
+            raise TypeCheckError(
+                f"filter predicate must be boolean, got {compiled.type}"
+            )
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Filter":
+        (child,) = children
+        return Filter(child, self.predicate)
+
+    def label(self) -> str:
+        from repro.sql.render import render
+
+        return f"Filter[{render(self.predicate)}]"
+
+
+@dataclass(frozen=True)
+class ProjectItem:
+    """One output column of a projection: expression plus output name."""
+
+    expr: ast.Expression
+    name: str
+
+
+class Project(LogicalPlan):
+    """Column projection / computation.
+
+    Items that are bare column references keep their relation qualifier in
+    the output schema, so predicates above the projection can still use
+    qualified names; computed columns are unqualified.
+    """
+
+    def __init__(self, child: LogicalPlan, items: Sequence[ProjectItem]):
+        super().__init__()
+        self.child = child
+        self.items = tuple(items)
+        fields = []
+        for item in self.items:
+            compiled = compile_expression(item.expr, child.schema)
+            relation = None
+            if isinstance(item.expr, ast.ColumnRef):
+                index = child.schema.resolve(item.expr.name, item.expr.table)
+                relation = child.schema[index].relation
+            fields.append(Field(item.name, compiled.type, relation))
+        self.schema = Schema(fields)
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Project":
+        (child,) = children
+        return Project(child, self.items)
+
+    def label(self) -> str:
+        from repro.sql.render import render
+
+        cols = ", ".join(
+            render(item.expr)
+            if isinstance(item.expr, ast.ColumnRef)
+            and item.expr.name == item.name
+            else f"{render(item.expr)} AS {item.name}"
+            for item in self.items
+        )
+        return f"Project[{cols}]"
+
+
+class Join(LogicalPlan):
+    """A binary join; ``condition`` may be None for a cross join."""
+
+    def __init__(
+        self,
+        left: LogicalPlan,
+        right: LogicalPlan,
+        condition: Optional[ast.Expression] = None,
+        kind: str = "INNER",
+    ):
+        super().__init__()
+        if kind not in ("INNER", "LEFT", "CROSS"):
+            raise BindError(f"unsupported join kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.schema = left.schema.concat(right.schema)
+        if condition is not None:
+            compiled = compile_expression(condition, self.schema)
+            if compiled.type.kind not in (TypeKind.BOOLEAN, TypeKind.NULL):
+                raise TypeCheckError(
+                    f"join condition must be boolean, got {compiled.type}"
+                )
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.left, self.right]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Join":
+        left, right = children
+        return Join(left, right, self.condition, self.kind)
+
+    def equi_keys(
+        self,
+    ) -> Optional[List[Tuple[ast.ColumnRef, ast.ColumnRef]]]:
+        """(left, right) column pairs if the condition is a pure equi-join.
+
+        Returns None when any conjunct is not ``left_col = right_col``
+        (those joins fall back to nested loops in the executor).
+        """
+        if self.condition is None:
+            return None
+        pairs: List[Tuple[ast.ColumnRef, ast.ColumnRef]] = []
+        left_schema, right_schema = self.left.schema, self.right.schema
+        for conjunct in ast.conjuncts(self.condition):
+            if not (
+                isinstance(conjunct, ast.BinaryOp)
+                and conjunct.op == "="
+                and isinstance(conjunct.left, ast.ColumnRef)
+                and isinstance(conjunct.right, ast.ColumnRef)
+            ):
+                return None
+            first, second = conjunct.left, conjunct.right
+            if _resolves(left_schema, first) and _resolves(right_schema, second):
+                pairs.append((first, second))
+            elif _resolves(left_schema, second) and _resolves(
+                right_schema, first
+            ):
+                pairs.append((second, first))
+            else:
+                return None
+        return pairs
+
+    def label(self) -> str:
+        from repro.sql.render import render
+
+        condition = render(self.condition) if self.condition else "true"
+        return f"Join[{self.kind} ON {condition}]"
+
+
+def _resolves(schema: Schema, ref: ast.ColumnRef) -> bool:
+    try:
+        schema.resolve(ref.name, ref.table)
+    except BindError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: function, argument (None = COUNT(*)), output name."""
+
+    func: str
+    arg: Optional[ast.Expression]
+    name: str
+    distinct: bool = False
+
+    def result_type(self, input_schema: Schema) -> SQLType:
+        if self.func == "COUNT":
+            return BIGINT
+        if self.arg is None:
+            raise BindError(f"{self.func} requires an argument")
+        arg_type = compile_expression(self.arg, input_schema).type
+        if self.func == "AVG":
+            return DOUBLE
+        if self.func == "SUM":
+            if arg_type.kind is TypeKind.INTEGER:
+                return BIGINT
+            return arg_type
+        if self.func in ("MIN", "MAX"):
+            return arg_type
+        raise BindError(f"unknown aggregate function {self.func!r}")
+
+
+class Aggregate(LogicalPlan):
+    """Hash aggregation: group keys plus aggregate computations.
+
+    The output schema is ``[key_0..key_n, agg_0..agg_m]`` with key fields
+    keeping the qualifier of simple column references.
+    """
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        keys: Sequence[ProjectItem],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        super().__init__()
+        self.child = child
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+        fields = []
+        for key in self.keys:
+            compiled = compile_expression(key.expr, child.schema)
+            relation = None
+            if isinstance(key.expr, ast.ColumnRef):
+                index = child.schema.resolve(key.expr.name, key.expr.table)
+                relation = child.schema[index].relation
+            fields.append(Field(key.name, compiled.type, relation))
+        for spec in self.aggregates:
+            fields.append(Field(spec.name, spec.result_type(child.schema)))
+        self.schema = Schema(fields)
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.keys, self.aggregates)
+
+    def label(self) -> str:
+        keys = ", ".join(key.name for key in self.keys)
+        aggs = ", ".join(
+            f"{spec.func}({'*' if spec.arg is None else ''})->{spec.name}"
+            for spec in self.aggregates
+        )
+        return f"Aggregate[keys=({keys}) aggs=({aggs})]"
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY key (an expression over the child schema)."""
+
+    expr: ast.Expression
+    ascending: bool = True
+
+
+class Sort(LogicalPlan):
+    """Total ordering of the child by a key list."""
+
+    def __init__(self, child: LogicalPlan, keys: Sequence[SortKey]):
+        super().__init__()
+        self.child = child
+        self.keys = tuple(keys)
+        self.schema = child.schema
+        for key in self.keys:
+            compile_expression(key.expr, child.schema)
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def label(self) -> str:
+        from repro.sql.render import render
+
+        keys = ", ".join(
+            render(key.expr) + ("" if key.ascending else " DESC")
+            for key in self.keys
+        )
+        return f"Sort[{keys}]"
+
+
+class Limit(LogicalPlan):
+    """Keep the first ``count`` rows of the child."""
+
+    def __init__(self, child: LogicalPlan, count: int):
+        super().__init__()
+        self.child = child
+        self.count = count
+        self.schema = child.schema
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.count)
+
+    def label(self) -> str:
+        return f"Limit[{self.count}]"
+
+
+class Distinct(LogicalPlan):
+    """Duplicate elimination over whole rows."""
+
+    def __init__(self, child: LogicalPlan):
+        super().__init__()
+        self.child = child
+        self.schema = child.schema
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+
+class Union(LogicalPlan):
+    """``UNION ALL`` of two positionally compatible inputs.
+
+    Output columns take the left input's names (unqualified); types are
+    widened to the per-position common supertype.
+    """
+
+    def __init__(self, left: LogicalPlan, right: LogicalPlan):
+        super().__init__()
+        if len(left.schema) != len(right.schema):
+            raise TypeCheckError(
+                f"UNION ALL branches have different arities: "
+                f"{len(left.schema)} vs {len(right.schema)}"
+            )
+        from repro.sql.types import common_supertype
+
+        fields = []
+        for left_field, right_field in zip(left.schema, right.schema):
+            fields.append(
+                Field(
+                    left_field.name,
+                    common_supertype(left_field.type, right_field.type),
+                )
+            )
+        self.left = left
+        self.right = right
+        self.schema = Schema(fields)
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.left, self.right]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Union":
+        left, right = children
+        return Union(left, right)
+
+    def label(self) -> str:
+        return "UnionAll"
+
+
+class Alias(LogicalPlan):
+    """Re-binds the child's output under a new relation name.
+
+    Used for derived tables and view expansion: the child keeps its own
+    internal naming while the outer query sees ``binding.column``.
+    """
+
+    def __init__(self, child: LogicalPlan, binding: str):
+        super().__init__()
+        self.child = child
+        self.binding = binding
+        self.schema = child.schema.requalified(binding)
+
+    def children(self) -> List[LogicalPlan]:
+        return [self.child]
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Alias":
+        (child,) = children
+        return Alias(child, self.binding)
+
+    def label(self) -> str:
+        return f"Alias[{self.binding}]"

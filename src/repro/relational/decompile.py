@@ -1,0 +1,344 @@
+"""Decompilation: logical plans back into SELECT ASTs.
+
+This is the inverse of :mod:`repro.relational.builder` and the engine
+room of the paper's delegation approach: a task's algebraic expression
+is turned into the ``CREATE VIEW ... AS SELECT`` text that gets shipped
+to a DBMS.  The mediator baselines use the same machinery to push
+per-DBMS subqueries down.
+
+The decompiler guarantees that the produced query's output columns match
+``plan.schema`` in order and (uniquified) name, so placeholder scans on
+the consuming side line up by position.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import OptimizerError
+from repro.relational import algebra
+from repro.relational.builder import unique_names
+from repro.sql import ast
+
+_RefMap = Callable[[int], ast.Expression]
+
+
+def plan_to_select(plan: algebra.LogicalPlan):
+    """Decompile ``plan`` into an equivalent query AST (SELECT or
+    UNION ALL)."""
+    return _Decompiler().decompile(plan)
+
+
+def _query_output_names(query) -> List[str]:
+    """Output column names of a decompiled query AST."""
+    if isinstance(query, ast.UnionAll):
+        return _query_output_names(query.branches()[0])
+    return [item.alias for item in query.items]
+
+
+class _Decompiler:
+    def __init__(self) -> None:
+        self._alias_count = 0
+
+    def _fresh_alias(self) -> str:
+        self._alias_count += 1
+        return f"sq_{self._alias_count}"
+
+    # -- top level ----------------------------------------------------------
+
+    def decompile(self, plan: algebra.LogicalPlan) -> ast.Select:
+        limit: Optional[int] = None
+        order_by: Tuple[ast.OrderItem, ...] = ()
+        distinct = False
+        sort_source: Optional[algebra.Sort] = None
+
+        node = plan
+        if isinstance(node, algebra.Limit):
+            limit = node.count
+            node = node.child
+        if isinstance(node, algebra.Sort):
+            sort_source = node
+            node = node.child
+        if isinstance(node, algebra.Distinct):
+            distinct = True
+            node = node.child
+
+        if isinstance(node, algebra.Union):
+            return self._decompile_union(node, sort_source, limit)
+
+        select = self._decompile_body(node)
+        if sort_source is not None:
+            order_by = tuple(
+                ast.OrderItem(
+                    self._rewrite_output_ref(key.expr, node, select),
+                    key.ascending,
+                )
+                for key in sort_source.keys
+            )
+        return ast.Select(
+            items=select.items,
+            from_items=select.from_items,
+            where=select.where,
+            group_by=select.group_by,
+            having=select.having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct or select.distinct,
+        )
+
+    def _decompile_union(
+        self,
+        node: "algebra.Union",
+        sort_source: Optional[algebra.Sort],
+        limit: Optional[int],
+    ):
+        left = self.decompile(node.left)
+        right = self.decompile(node.right)
+        if not isinstance(right, ast.Select):
+            # Right-nested unions: wrap as a derived table to stay in the
+            # grammar's left-nested shape.
+            right = ast.Select(
+                items=(ast.SelectItem(ast.Star()),),
+                from_items=(ast.DerivedTable(right, self._fresh_alias()),),
+            )
+        order_by = ()
+        if sort_source is not None:
+            order_by = tuple(
+                ast.OrderItem(
+                    self._union_sort_ref(key.expr, node), key.ascending
+                )
+                for key in sort_source.keys
+            )
+        return ast.UnionAll(left, right, order_by, limit)
+
+    def _union_sort_ref(
+        self, expr: ast.Expression, node: "algebra.Union"
+    ) -> ast.Expression:
+        if isinstance(expr, ast.ColumnRef):
+            index = node.schema.resolve(expr.name, expr.table)
+            return ast.ColumnRef(node.schema[index].name)
+        return expr
+
+    def _rewrite_output_ref(
+        self,
+        expr: ast.Expression,
+        node: algebra.LogicalPlan,
+        select: ast.Select,
+    ) -> ast.Expression:
+        """Rewrite a sort key over ``node.schema`` into an output-name ref."""
+        if isinstance(expr, ast.ColumnRef):
+            index = node.schema.resolve(expr.name, expr.table)
+            item = select.items[index]
+            name = item.alias
+            if name is None and isinstance(item.expr, ast.ColumnRef):
+                return item.expr
+            if name is None:
+                raise OptimizerError(
+                    "cannot decompile sort key over unnamed output column"
+                )
+            return ast.ColumnRef(name)
+        return expr
+
+    def _decompile_body(self, node: algebra.LogicalPlan) -> ast.Select:
+        having: Optional[ast.Expression] = None
+        project: Optional[algebra.Project] = None
+
+        if isinstance(node, algebra.Project):
+            project = node
+            node = node.child
+        if isinstance(node, algebra.Filter) and isinstance(
+            node.child, algebra.Aggregate
+        ):
+            having = node.predicate
+            node = node.child
+
+        if isinstance(node, algebra.Aggregate):
+            return self._decompile_aggregate(node, project, having)
+        if having is not None:
+            raise OptimizerError("HAVING filter without aggregate")
+        if project is not None:
+            from_item, where, ref_of = self._block(project.child)
+            items = tuple(
+                ast.SelectItem(
+                    self._rewrite(item.expr, project.child, ref_of),
+                    item.name,
+                )
+                for item in project.items
+            )
+            return ast.Select(
+                items=items, from_items=(from_item,), where=where
+            )
+
+        # Bare Scan / Filter / Join / Alias tree: emit an explicit column
+        # list so output order and names are stable.
+        from_item, where, ref_of = self._block(node)
+        names = unique_names(node.schema.names)
+        items = tuple(
+            ast.SelectItem(ref_of(index), name)
+            for index, name in enumerate(names)
+        )
+        return ast.Select(items=items, from_items=(from_item,), where=where)
+
+    def _decompile_aggregate(
+        self,
+        aggregate: algebra.Aggregate,
+        project: Optional[algebra.Project],
+        having: Optional[ast.Expression],
+    ) -> ast.Select:
+        from_item, where, ref_of = self._block(aggregate.child)
+
+        key_exprs = [
+            self._rewrite(key.expr, aggregate.child, ref_of)
+            for key in aggregate.keys
+        ]
+        agg_exprs: List[ast.Expression] = []
+        for spec in aggregate.aggregates:
+            if spec.arg is None:
+                args: Tuple[ast.Expression, ...] = (ast.Star(),)
+            else:
+                args = (self._rewrite(spec.arg, aggregate.child, ref_of),)
+            agg_exprs.append(
+                ast.FunctionCall(spec.func, args, spec.distinct)
+            )
+
+        # Map the aggregate's output columns to SQL expressions so select
+        # items / HAVING written over them can be inlined.
+        output_expr: Dict[str, ast.Expression] = {}
+        for key, expr in zip(aggregate.keys, key_exprs):
+            output_expr[key.name.lower()] = expr
+        for spec, expr in zip(aggregate.aggregates, agg_exprs):
+            output_expr[spec.name.lower()] = expr
+
+        def inline(expr: ast.Expression) -> ast.Expression:
+            def replace(node: ast.Expression):
+                if isinstance(node, ast.ColumnRef):
+                    index = aggregate.schema.resolve(node.name, node.table)
+                    field = aggregate.schema[index]
+                    return output_expr[field.name.lower()]
+                return None
+
+            from repro.relational.builder import rebuild_expression
+
+            return rebuild_expression(expr, replace)
+
+        if project is not None:
+            items = tuple(
+                ast.SelectItem(inline(item.expr), item.name)
+                for item in project.items
+            )
+        else:
+            items = tuple(
+                ast.SelectItem(expr, key.name)
+                for key, expr in zip(aggregate.keys, key_exprs)
+            ) + tuple(
+                ast.SelectItem(expr, spec.name)
+                for spec, expr in zip(aggregate.aggregates, agg_exprs)
+            )
+
+        return ast.Select(
+            items=items,
+            from_items=(from_item,),
+            where=where,
+            group_by=tuple(key_exprs),
+            having=inline(having) if having is not None else None,
+        )
+
+    # -- FROM blocks ---------------------------------------------------------
+
+    def _block(
+        self, node: algebra.LogicalPlan
+    ) -> Tuple[ast.FromItem, Optional[ast.Expression], _RefMap]:
+        """Flatten ``node`` into (from_item, where, output-reference map)."""
+        if isinstance(node, algebra.Scan):
+            alias = node.binding if node.binding != node.table else None
+            from_item = ast.TableRef((node.table,), alias)
+            binding = node.binding
+
+            def scan_ref(index: int) -> ast.Expression:
+                return ast.ColumnRef(node.schema[index].name, binding)
+
+            return from_item, None, scan_ref
+
+        if isinstance(node, algebra.Filter):
+            from_item, where, ref_of = self._block(node.child)
+            predicate = self._rewrite(node.predicate, node.child, ref_of)
+            combined = ast.conjoin(
+                ast.conjuncts(where) + ast.conjuncts(predicate)
+            )
+            return from_item, combined, ref_of
+
+        if isinstance(node, algebra.Join):
+            left_item, left_where, left_ref = self._block(node.left)
+            right_item, right_where, right_ref = self._block(node.right)
+            left_width = len(node.left.schema)
+
+            def join_ref(index: int) -> ast.Expression:
+                if index < left_width:
+                    return left_ref(index)
+                return right_ref(index - left_width)
+
+            condition = (
+                self._rewrite(node.condition, node, join_ref)
+                if node.condition is not None
+                else None
+            )
+            if node.kind == "LEFT":
+                if right_where is not None:
+                    raise OptimizerError(
+                        "cannot lift a filter out of a LEFT JOIN operand"
+                    )
+                from_item: ast.FromItem = ast.Join(
+                    left_item, right_item, "LEFT", condition
+                )
+                return from_item, left_where, join_ref
+            if condition is not None:
+                from_item = ast.Join(left_item, right_item, "INNER", condition)
+            else:
+                from_item = ast.Join(left_item, right_item, "CROSS", None)
+            where = ast.conjoin(
+                ast.conjuncts(left_where) + ast.conjuncts(right_where)
+            )
+            return from_item, where, join_ref
+
+        if isinstance(node, algebra.Alias):
+            subquery = self.decompile(node.child)
+            from_item = ast.DerivedTable(subquery, node.binding)
+            names = _query_output_names(subquery)
+
+            def alias_ref(index: int) -> ast.Expression:
+                return ast.ColumnRef(names[index], node.binding)
+
+            return from_item, None, alias_ref
+
+        # Anything else (Project / Aggregate / Union / Sort / Limit /
+        # Distinct deep inside a join) becomes a derived table.
+        subquery = self.decompile(node)
+        alias = self._fresh_alias()
+        from_item = ast.DerivedTable(subquery, alias)
+        names = _query_output_names(subquery)
+
+        def derived_ref(index: int) -> ast.Expression:
+            return ast.ColumnRef(names[index], alias)
+
+        return from_item, None, derived_ref
+
+    # -- expression rewriting ---------------------------------------------------
+
+    def _rewrite(
+        self,
+        expr: ast.Expression,
+        over: algebra.LogicalPlan,
+        ref_of: _RefMap,
+    ) -> ast.Expression:
+        """Rewrite column refs over ``over.schema`` into block references."""
+        from repro.relational.builder import rebuild_expression
+
+        schema = over.schema
+
+        def replace(node: ast.Expression):
+            if isinstance(node, ast.ColumnRef):
+                index = schema.resolve(node.name, node.table)
+                return ref_of(index)
+            return None
+
+        return rebuild_expression(expr, replace)

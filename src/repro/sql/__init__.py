@@ -1,0 +1,32 @@
+"""SQL front end: lexer, parser, AST, and per-dialect renderers.
+
+The toolkit covers the SQL subset the paper's experiments need:
+
+* analytical ``SELECT`` queries (joins, derived tables, aggregates,
+  ``CASE``, ``BETWEEN``, ``IN``, ``LIKE``, ``EXTRACT``, ``ORDER BY`` /
+  ``LIMIT``);
+* the SQL/MED flavoured DDL the delegation engine emits (``CREATE VIEW``,
+  ``CREATE FOREIGN TABLE`` and its MariaDB / Hive equivalents,
+  ``CREATE TABLE AS``, ``DROP``);
+* utility statements (``INSERT INTO .. VALUES``, ``EXPLAIN``).
+
+Use :func:`parse_statement` / :func:`parse_expression` to parse and
+:func:`repro.sql.render.render` (or a dialect from
+:mod:`repro.sql.dialects`) to turn ASTs back into SQL text.
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_expression, parse_statement
+from repro.sql.render import render
+from repro.sql.types import SQLType, TypeKind
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "SQLType",
+    "TypeKind",
+    "parse_expression",
+    "parse_statement",
+    "render",
+    "tokenize",
+]

@@ -1,0 +1,96 @@
+"""Vendor SQL dialects for the three simulated engine families.
+
+A dialect is a :class:`repro.sql.render.Renderer` subclass: it controls
+identifier quoting and — most importantly for the delegation engine — the
+surface syntax used to declare a foreign table:
+
+* **PostgreSQL**: SQL/MED ``CREATE FOREIGN TABLE .. SERVER .. OPTIONS``.
+* **MariaDB**: ``CREATE TABLE .. ENGINE=FEDERATED CONNECTION='srv/obj'``.
+* **Hive**: ``CREATE EXTERNAL TABLE .. STORED BY 'srv' OPTIONS (..)``.
+
+All three surfaces parse back into the same
+:class:`repro.sql.ast.CreateForeignTable` node, which is what lets XDB
+drive heterogeneous DBMSes through one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.render import Renderer
+
+
+class PostgresDialect(Renderer):
+    """Canonical dialect; double-quoted identifiers, SQL/MED DDL."""
+
+    name = "postgres"
+    identifier_quote = '"'
+
+
+class MariaDBDialect(Renderer):
+    """Backtick identifiers; FEDERATED storage engine for foreign tables."""
+
+    name = "mariadb"
+    identifier_quote = "`"
+
+    def _stmt_CreateForeignTable(self, stmt: ast.CreateForeignTable) -> str:
+        connection = f"{stmt.server}/{stmt.remote_object}"
+        return (
+            f"CREATE TABLE {self.identifier(stmt.name)} "
+            f"{self._column_defs(stmt.columns)} "
+            f"ENGINE=FEDERATED CONNECTION='{connection}'"
+        )
+
+    def _stmt_DropObject(self, stmt: ast.DropObject) -> str:
+        # MariaDB drops federated tables with plain DROP TABLE.
+        kind = "TABLE" if stmt.kind == "FOREIGN TABLE" else stmt.kind
+        exists = "IF EXISTS " if stmt.if_exists else ""
+        return f"DROP {kind} {exists}{self.identifier(stmt.name)}"
+
+
+class HiveDialect(Renderer):
+    """Backtick identifiers; EXTERNAL TABLE with a storage handler."""
+
+    name = "hive"
+    identifier_quote = "`"
+
+    def _stmt_CreateForeignTable(self, stmt: ast.CreateForeignTable) -> str:
+        return (
+            f"CREATE EXTERNAL TABLE {self.identifier(stmt.name)} "
+            f"{self._column_defs(stmt.columns)} "
+            f"STORED BY '{stmt.server}' "
+            f"OPTIONS (table_name '{stmt.remote_object}')"
+        )
+
+    def _stmt_DropObject(self, stmt: ast.DropObject) -> str:
+        kind = "EXTERNAL TABLE" if stmt.kind == "FOREIGN TABLE" else stmt.kind
+        exists = "IF EXISTS " if stmt.if_exists else ""
+        return f"DROP {kind} {exists}{self.identifier(stmt.name)}"
+
+
+_DIALECTS: Dict[str, Type[Renderer]] = {
+    "postgres": PostgresDialect,
+    "mariadb": MariaDBDialect,
+    "hive": HiveDialect,
+}
+
+_INSTANCES: Dict[str, Renderer] = {}
+
+
+def dialect_for(name: str) -> Renderer:
+    """Return a shared renderer instance for dialect ``name``."""
+    key = name.lower()
+    if key not in _DIALECTS:
+        raise SQLError(
+            f"unknown dialect {name!r}; expected one of {sorted(_DIALECTS)}"
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _DIALECTS[key]()
+    return _INSTANCES[key]
+
+
+def available_dialects() -> list:
+    """Names of all registered dialects."""
+    return sorted(_DIALECTS)

@@ -1,0 +1,184 @@
+"""A hand-written SQL lexer.
+
+The lexer is dialect-tolerant on purpose: it accepts double-quoted
+(PostgreSQL) *and* backtick-quoted (MariaDB/Hive) identifiers, so a single
+front end can read the SQL text that each simulated vendor emits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import LexerError
+from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenKind
+
+_IDENT_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_"
+)
+_IDENT_CONT = _IDENT_START | frozenset("0123456789$")
+_DIGITS = frozenset("0123456789")
+_SPACE = frozenset(" \t\r\n")
+
+
+class Lexer:
+    """Streaming tokenizer over a SQL string."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until (and including) an EOF token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                yield self._token(TokenKind.EOF, "")
+                return
+            yield self._next_token()
+
+    # -- internals ---------------------------------------------------------
+
+    def _token(self, kind: TokenKind, value) -> Token:
+        return Token(kind, value, self._line, self._column)
+
+    def _error(self, message: str) -> LexerError:
+        return LexerError(message, self._pos, self._line, self._column)
+
+    def _advance(self, count: int = 1) -> str:
+        """Consume ``count`` characters, maintaining line/column counters."""
+        consumed = self._text[self._pos : self._pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return consumed
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < len(self._text) else ""
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self._pos < len(self._text):
+            ch = self._peek()
+            if ch in _SPACE:
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._text):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        ch = self._peek()
+        if ch in _IDENT_START:
+            return self._lex_word()
+        if ch in _DIGITS:
+            return self._lex_number()
+        if ch == "'":
+            return self._lex_string()
+        if ch in ('"', "`"):
+            return self._lex_quoted_identifier(ch)
+        for op in OPERATORS:
+            if self._text.startswith(op, self._pos):
+                token = self._token(TokenKind.OPERATOR, op)
+                self._advance(len(op))
+                return token
+        if ch in PUNCTUATION:
+            token = self._token(TokenKind.PUNCTUATION, ch)
+            self._advance()
+            return token
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_word(self) -> Token:
+        line, column = self._line, self._column
+        start = self._pos
+        while self._pos < len(self._text) and self._peek() in _IDENT_CONT:
+            self._advance()
+        word = self._text[start : self._pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenKind.KEYWORD, upper, line, column)
+        return Token(TokenKind.IDENTIFIER, word, line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self._line, self._column
+        start = self._pos
+        is_float = False
+        while self._pos < len(self._text) and self._peek() in _DIGITS:
+            self._advance()
+        if self._peek() == "." and self._peek(1) in _DIGITS:
+            is_float = True
+            self._advance()
+            while self._pos < len(self._text) and self._peek() in _DIGITS:
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1) in _DIGITS
+            or (self._peek(1) in "+-" and self._peek(2) in _DIGITS)
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._pos < len(self._text) and self._peek() in _DIGITS:
+                self._advance()
+        text = self._text[start : self._pos]
+        if is_float:
+            return Token(TokenKind.FLOAT, float(text), line, column)
+        return Token(TokenKind.INTEGER, int(text), line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self._line, self._column
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote: '' -> '
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenKind.STRING, "".join(parts), line, column)
+            parts.append(ch)
+            self._advance()
+
+    def _lex_quoted_identifier(self, quote: str) -> Token:
+        line, column = self._line, self._column
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise self._error("unterminated quoted identifier")
+            ch = self._peek()
+            if ch == quote:
+                if self._peek(1) == quote:
+                    parts.append(quote)
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(
+                    TokenKind.QUOTED_IDENTIFIER, "".join(parts), line, column
+                )
+            parts.append(ch)
+            self._advance()
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    return list(Lexer(text).tokens())

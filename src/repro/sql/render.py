@@ -1,0 +1,323 @@
+"""AST → SQL text rendering.
+
+The base :class:`Renderer` emits canonical, re-parseable SQL in the
+PostgreSQL surface.  Vendor dialects (:mod:`repro.sql.dialects`) override
+identifier quoting and the foreign-table DDL surface.  Round-tripping is a
+tested invariant: ``parse(render(ast))`` is structurally equal to ``ast``
+for every supported node.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.tokens import KEYWORDS
+
+_IDENT_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+#: Rendering precedence per operator (mirrors the parser's table).
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "=": 4,
+    "<>": 4,
+    "!=": 4,
+    "<": 4,
+    ">": 4,
+    "<=": 4,
+    ">=": 4,
+    "||": 5,
+    "+": 6,
+    "-": 6,
+    "*": 7,
+    "/": 7,
+    "%": 7,
+}
+
+
+class Renderer:
+    """Renders statements and expressions to SQL text."""
+
+    #: Identifier quote character; dialects override.
+    identifier_quote = '"'
+
+    # -- public API -----------------------------------------------------------
+
+    def render(self, node) -> str:
+        """Render a statement or expression AST node to SQL text."""
+        if isinstance(node, ast.Statement):
+            return self.statement(node)
+        if isinstance(node, ast.Expression):
+            return self.expression(node)
+        raise SQLError(f"cannot render node of type {type(node).__name__}")
+
+    # -- identifiers and literals ----------------------------------------------
+
+    def identifier(self, name: str) -> str:
+        """Quote ``name`` only when required by the dialect's lexer."""
+        if (
+            name
+            and all(ch in _IDENT_SAFE for ch in name)
+            and not name[0].isdigit()
+            and name.upper() not in KEYWORDS
+        ):
+            return name
+        quote = self.identifier_quote
+        return f"{quote}{name.replace(quote, quote * 2)}{quote}"
+
+    def literal(self, value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "TRUE" if value else "FALSE"
+        if isinstance(value, (int, float)):
+            return repr(value)
+        if isinstance(value, datetime.date):
+            return f"DATE '{value.isoformat()}'"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        raise SQLError(f"cannot render literal {value!r}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def expression(self, expr: ast.Expression) -> str:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise SQLError(f"cannot render expression {type(expr).__name__}")
+        return method(expr)
+
+    def _wrap(self, expr: ast.Expression, parent_power: int) -> str:
+        """Render a child, parenthesizing when precedence requires it."""
+        text = self.expression(expr)
+        if isinstance(expr, ast.BinaryOp):
+            if _PRECEDENCE[expr.op] <= parent_power:
+                return f"({text})"
+        elif isinstance(
+            expr, (ast.Between, ast.InList, ast.Like, ast.IsNull, ast.UnaryOp)
+        ):
+            return f"({text})"
+        return text
+
+    def _expr_ColumnRef(self, expr: ast.ColumnRef) -> str:
+        if expr.table:
+            return f"{self.identifier(expr.table)}.{self.identifier(expr.name)}"
+        return self.identifier(expr.name)
+
+    def _expr_Star(self, expr: ast.Star) -> str:
+        return f"{self.identifier(expr.table)}.*" if expr.table else "*"
+
+    def _expr_Literal(self, expr: ast.Literal) -> str:
+        return self.literal(expr.value)
+
+    def _expr_IntervalLiteral(self, expr: ast.IntervalLiteral) -> str:
+        return f"INTERVAL '{expr.amount}' {expr.unit}"
+
+    def _expr_BinaryOp(self, expr: ast.BinaryOp) -> str:
+        power = _PRECEDENCE[expr.op]
+        left = self._wrap(expr.left, power - 1)
+        right = self._wrap(expr.right, power)
+        return f"{left} {expr.op} {right}"
+
+    def _expr_UnaryOp(self, expr: ast.UnaryOp) -> str:
+        if expr.op == "NOT":
+            return f"NOT {self._wrap(expr.operand, 3)}"
+        return f"-{self._wrap(expr.operand, 8)}"
+
+    def _expr_IsNull(self, expr: ast.IsNull) -> str:
+        suffix = "IS NOT NULL" if expr.negated else "IS NULL"
+        return f"{self._wrap(expr.operand, 4)} {suffix}"
+
+    def _expr_Between(self, expr: ast.Between) -> str:
+        keyword = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"{self._wrap(expr.operand, 4)} {keyword} "
+            f"{self._wrap(expr.low, 4)} AND {self._wrap(expr.high, 4)}"
+        )
+
+    def _expr_InList(self, expr: ast.InList) -> str:
+        keyword = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(self.expression(item) for item in expr.items)
+        return f"{self._wrap(expr.operand, 4)} {keyword} ({items})"
+
+    def _expr_Like(self, expr: ast.Like) -> str:
+        keyword = "NOT LIKE" if expr.negated else "LIKE"
+        return (
+            f"{self._wrap(expr.operand, 4)} {keyword} "
+            f"{self._wrap(expr.pattern, 4)}"
+        )
+
+    def _expr_FunctionCall(self, expr: ast.FunctionCall) -> str:
+        if len(expr.args) == 1 and isinstance(expr.args[0], ast.Star):
+            return f"{expr.name}(*)"
+        prefix = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(self.expression(arg) for arg in expr.args)
+        return f"{expr.name}({prefix}{args})"
+
+    def _expr_CaseWhen(self, expr: ast.CaseWhen) -> str:
+        parts = ["CASE"]
+        for condition, result in expr.whens:
+            parts.append(
+                f"WHEN {self.expression(condition)} "
+                f"THEN {self.expression(result)}"
+            )
+        if expr.else_result is not None:
+            parts.append(f"ELSE {self.expression(expr.else_result)}")
+        parts.append("END")
+        return " ".join(parts)
+
+    def _expr_Extract(self, expr: ast.Extract) -> str:
+        return f"EXTRACT({expr.unit} FROM {self.expression(expr.operand)})"
+
+    def _expr_Cast(self, expr: ast.Cast) -> str:
+        return f"CAST({self.expression(expr.operand)} AS {expr.target})"
+
+    # -- statements --------------------------------------------------------------
+
+    def statement(self, stmt: ast.Statement) -> str:
+        method = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if method is None:
+            raise SQLError(f"cannot render statement {type(stmt).__name__}")
+        return method(stmt)
+
+    def _stmt_Select(self, stmt: ast.Select) -> str:
+        parts: List[str] = ["SELECT"]
+        if stmt.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self._select_item(i) for i in stmt.items))
+        if stmt.from_items:
+            parts.append("FROM")
+            parts.append(
+                ", ".join(self._from_item(f) for f in stmt.from_items)
+            )
+        if stmt.where is not None:
+            parts.append(f"WHERE {self.expression(stmt.where)}")
+        if stmt.group_by:
+            keys = ", ".join(self.expression(g) for g in stmt.group_by)
+            parts.append(f"GROUP BY {keys}")
+        if stmt.having is not None:
+            parts.append(f"HAVING {self.expression(stmt.having)}")
+        if stmt.order_by:
+            keys = ", ".join(self._order_item(o) for o in stmt.order_by)
+            parts.append(f"ORDER BY {keys}")
+        if stmt.limit is not None:
+            parts.append(f"LIMIT {stmt.limit}")
+        return " ".join(parts)
+
+    def _select_item(self, item: ast.SelectItem) -> str:
+        text = self.expression(item.expr)
+        if item.alias:
+            return f"{text} AS {self.identifier(item.alias)}"
+        return text
+
+    def _order_item(self, item: ast.OrderItem) -> str:
+        text = self.expression(item.expr)
+        return text if item.ascending else f"{text} DESC"
+
+    def _from_item(self, item: ast.FromItem) -> str:
+        if isinstance(item, ast.TableRef):
+            text = ".".join(self.identifier(part) for part in item.parts)
+            if item.alias:
+                return f"{text} AS {self.identifier(item.alias)}"
+            return text
+        if isinstance(item, ast.DerivedTable):
+            return (
+                f"({self.statement(item.query)}) "
+                f"AS {self.identifier(item.alias)}"
+            )
+        if isinstance(item, ast.Join):
+            left = self._from_item(item.left)
+            right = self._from_item(item.right)
+            if isinstance(item.right, ast.Join):
+                right = f"({right})"
+            if item.kind == "CROSS":
+                return f"{left} CROSS JOIN {right}"
+            keyword = "JOIN" if item.kind == "INNER" else f"{item.kind} JOIN"
+            condition = self.expression(item.condition)
+            return f"{left} {keyword} {right} ON {condition}"
+        raise SQLError(f"cannot render FROM item {type(item).__name__}")
+
+    def _column_defs(self, columns) -> str:
+        defs = ", ".join(
+            f"{self.identifier(col.name)} {col.type}" for col in columns
+        )
+        return f"({defs})"
+
+    def _stmt_UnionAll(self, stmt: ast.UnionAll) -> str:
+        text = (
+            f"{self.statement(stmt.left)} UNION ALL "
+            f"{self._stmt_Select(stmt.right)}"
+        )
+        if stmt.order_by:
+            keys = ", ".join(self._order_item(o) for o in stmt.order_by)
+            text += f" ORDER BY {keys}"
+        if stmt.limit is not None:
+            text += f" LIMIT {stmt.limit}"
+        return text
+
+    def _stmt_CreateView(self, stmt: ast.CreateView) -> str:
+        replace = "OR REPLACE " if stmt.or_replace else ""
+        return (
+            f"CREATE {replace}VIEW {self.identifier(stmt.name)} "
+            f"AS {self.statement(stmt.query)}"
+        )
+
+    def _stmt_CreateForeignTable(self, stmt: ast.CreateForeignTable) -> str:
+        return (
+            f"CREATE FOREIGN TABLE {self.identifier(stmt.name)} "
+            f"{self._column_defs(stmt.columns)} "
+            f"SERVER {self.identifier(stmt.server)} "
+            f"OPTIONS (table_name '{stmt.remote_object}')"
+        )
+
+    def _stmt_CreateTable(self, stmt: ast.CreateTable) -> str:
+        temp = "TEMPORARY " if stmt.temporary else ""
+        return (
+            f"CREATE {temp}TABLE {self.identifier(stmt.name)} "
+            f"{self._column_defs(stmt.columns)}"
+        )
+
+    def _stmt_CreateTableAs(self, stmt: ast.CreateTableAs) -> str:
+        temp = "TEMPORARY " if stmt.temporary else ""
+        return (
+            f"CREATE {temp}TABLE {self.identifier(stmt.name)} "
+            f"AS {self.statement(stmt.query)}"
+        )
+
+    def _stmt_DropObject(self, stmt: ast.DropObject) -> str:
+        exists = "IF EXISTS " if stmt.if_exists else ""
+        return f"DROP {stmt.kind} {exists}{self.identifier(stmt.name)}"
+
+    def _stmt_Insert(self, stmt: ast.Insert) -> str:
+        columns = ""
+        if stmt.columns:
+            names = ", ".join(self.identifier(c) for c in stmt.columns)
+            columns = f" ({names})"
+        rows = ", ".join(
+            "(" + ", ".join(self.expression(v) for v in row) + ")"
+            for row in stmt.rows
+        )
+        return (
+            f"INSERT INTO {self.identifier(stmt.table)}{columns} VALUES {rows}"
+        )
+
+    def _stmt_Explain(self, stmt: ast.Explain) -> str:
+        return f"EXPLAIN {self.statement(stmt.query)}"
+
+
+_DEFAULT_RENDERER: Optional[Renderer] = None
+
+
+def render(node, renderer: Optional[Renderer] = None) -> str:
+    """Render an AST node using ``renderer`` (default: canonical surface)."""
+    global _DEFAULT_RENDERER
+    if renderer is None:
+        if _DEFAULT_RENDERER is None:
+            _DEFAULT_RENDERER = Renderer()
+        renderer = _DEFAULT_RENDERER
+    return renderer.render(node)

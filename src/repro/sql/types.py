@@ -1,0 +1,215 @@
+"""SQL data types used by schemas, expressions, and the cost model.
+
+Types are deliberately lightweight: a :class:`SQLType` is a kind plus
+optional length / precision.  The module also centralizes the byte-width
+estimates used for network-transfer accounting, so that every subsystem
+(engines, connectors, the XDB annotator) agrees on the size of a row.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import TypeCheckError
+
+
+class TypeKind(enum.Enum):
+    """Enumeration of the supported SQL type kinds."""
+
+    BOOLEAN = "boolean"
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    DOUBLE = "double"
+    DECIMAL = "decimal"
+    VARCHAR = "varchar"
+    CHAR = "char"
+    DATE = "date"
+    NULL = "null"
+
+
+_NUMERIC_KINDS = {
+    TypeKind.INTEGER,
+    TypeKind.BIGINT,
+    TypeKind.DOUBLE,
+    TypeKind.DECIMAL,
+}
+
+_TEXT_KINDS = {TypeKind.VARCHAR, TypeKind.CHAR}
+
+#: Fixed byte widths per kind; text kinds fall back to declared length.
+_FIXED_WIDTHS = {
+    TypeKind.BOOLEAN: 1,
+    TypeKind.INTEGER: 4,
+    TypeKind.BIGINT: 8,
+    TypeKind.DOUBLE: 8,
+    TypeKind.DECIMAL: 8,
+    TypeKind.DATE: 4,
+    TypeKind.NULL: 1,
+}
+
+#: Width assumed for text columns that did not declare a length.
+_DEFAULT_TEXT_WIDTH = 32
+
+#: Numeric widening order used by :func:`common_supertype`.
+_NUMERIC_ORDER = [
+    TypeKind.INTEGER,
+    TypeKind.BIGINT,
+    TypeKind.DECIMAL,
+    TypeKind.DOUBLE,
+]
+
+
+@dataclass(frozen=True)
+class SQLType:
+    """A SQL type: a kind plus an optional length (text) or precision."""
+
+    kind: TypeKind
+    length: Optional[int] = None
+    precision: Optional[int] = None
+    scale: Optional[int] = None
+
+    def __str__(self) -> str:
+        name = self.kind.value.upper()
+        if self.kind in _TEXT_KINDS and self.length is not None:
+            return f"{name}({self.length})"
+        if self.kind is TypeKind.DECIMAL and self.precision is not None:
+            if self.scale is not None:
+                return f"{name}({self.precision},{self.scale})"
+            return f"{name}({self.precision})"
+        return name
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in _NUMERIC_KINDS
+
+    @property
+    def is_text(self) -> bool:
+        return self.kind in _TEXT_KINDS
+
+    def byte_width(self) -> int:
+        """Estimated storage / wire width of one value of this type."""
+        if self.kind in _TEXT_KINDS:
+            return self.length if self.length else _DEFAULT_TEXT_WIDTH
+        return _FIXED_WIDTHS[self.kind]
+
+
+# Convenience singletons for the common cases.
+BOOLEAN = SQLType(TypeKind.BOOLEAN)
+INTEGER = SQLType(TypeKind.INTEGER)
+BIGINT = SQLType(TypeKind.BIGINT)
+DOUBLE = SQLType(TypeKind.DOUBLE)
+DECIMAL = SQLType(TypeKind.DECIMAL)
+DATE = SQLType(TypeKind.DATE)
+NULL = SQLType(TypeKind.NULL)
+
+
+def varchar(length: Optional[int] = None) -> SQLType:
+    """Build a VARCHAR type with an optional declared length."""
+    return SQLType(TypeKind.VARCHAR, length=length)
+
+
+def char(length: Optional[int] = None) -> SQLType:
+    """Build a CHAR type with an optional declared length."""
+    return SQLType(TypeKind.CHAR, length=length)
+
+
+def decimal(precision: int, scale: int = 0) -> SQLType:
+    """Build a DECIMAL type with precision and scale."""
+    return SQLType(TypeKind.DECIMAL, precision=precision, scale=scale)
+
+
+_NAME_TO_KIND = {
+    "BOOLEAN": TypeKind.BOOLEAN,
+    "BOOL": TypeKind.BOOLEAN,
+    "INT": TypeKind.INTEGER,
+    "INTEGER": TypeKind.INTEGER,
+    "INT4": TypeKind.INTEGER,
+    "BIGINT": TypeKind.BIGINT,
+    "INT8": TypeKind.BIGINT,
+    "DOUBLE": TypeKind.DOUBLE,
+    "FLOAT": TypeKind.DOUBLE,
+    "FLOAT8": TypeKind.DOUBLE,
+    "REAL": TypeKind.DOUBLE,
+    "DECIMAL": TypeKind.DECIMAL,
+    "NUMERIC": TypeKind.DECIMAL,
+    "VARCHAR": TypeKind.VARCHAR,
+    "STRING": TypeKind.VARCHAR,
+    "TEXT": TypeKind.VARCHAR,
+    "CHAR": TypeKind.CHAR,
+    "DATE": TypeKind.DATE,
+}
+
+
+def type_from_name(name: str, *args: int) -> SQLType:
+    """Resolve a SQL type name (as written in DDL) into a :class:`SQLType`.
+
+    ``args`` carries the parenthesized arguments, e.g. ``VARCHAR(25)``
+    passes ``25``.
+    """
+    kind = _NAME_TO_KIND.get(name.upper())
+    if kind is None:
+        raise TypeCheckError(f"unknown SQL type name: {name!r}")
+    if kind in _TEXT_KINDS:
+        return SQLType(kind, length=args[0] if args else None)
+    if kind is TypeKind.DECIMAL and args:
+        return SQLType(
+            kind,
+            precision=args[0],
+            scale=args[1] if len(args) > 1 else 0,
+        )
+    return SQLType(kind)
+
+
+def type_of_value(value: object) -> SQLType:
+    """Infer the :class:`SQLType` of a Python runtime value."""
+    if value is None:
+        return NULL
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return BIGINT if abs(value) > 2**31 - 1 else INTEGER
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, str):
+        return varchar(len(value))
+    if isinstance(value, datetime.date):
+        return DATE
+    raise TypeCheckError(f"unsupported runtime value type: {type(value)!r}")
+
+
+def common_supertype(left: SQLType, right: SQLType) -> SQLType:
+    """The narrowest type both operands can be widened to.
+
+    NULL is compatible with anything; numerics widen along
+    INTEGER → BIGINT → DECIMAL → DOUBLE; text kinds unify to VARCHAR.
+    """
+    if left.kind is TypeKind.NULL:
+        return right
+    if right.kind is TypeKind.NULL:
+        return left
+    if left.kind == right.kind:
+        if left.is_text:
+            lengths = [s.length for s in (left, right) if s.length is not None]
+            return SQLType(left.kind, length=max(lengths) if lengths else None)
+        return left
+    if left.is_numeric and right.is_numeric:
+        order = max(
+            _NUMERIC_ORDER.index(left.kind), _NUMERIC_ORDER.index(right.kind)
+        )
+        return SQLType(_NUMERIC_ORDER[order])
+    if left.is_text and right.is_text:
+        lengths = [s.length for s in (left, right) if s.length is not None]
+        return varchar(max(lengths) if lengths else None)
+    raise TypeCheckError(f"incompatible types: {left} vs {right}")
+
+
+def comparable(left: SQLType, right: SQLType) -> bool:
+    """Whether values of the two types may be compared with ``=``/``<``."""
+    try:
+        common_supertype(left, right)
+    except TypeCheckError:
+        return False
+    return True

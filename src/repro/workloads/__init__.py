@@ -1,0 +1,2 @@
+"""Workloads: TPC-H (the paper's evaluation) and the motivating
+pandemic scenario of §II-A."""

@@ -1,0 +1,157 @@
+"""The paper's motivating scenario (§II-A, Table I, Fig. 3).
+
+The Municipal Office of Credo: a citizens' department (CDB), a
+vaccination center (VDB), and a health department (HDB), each running
+its own DBMS.  The chief health officer's analytical query measures
+COVID-19 antibodies per vaccine type and age group — a three-DBMS
+cross-database query.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.federation.deployment import Deployment
+from repro.relational.schema import Field, Schema
+from repro.sql.types import DATE, DOUBLE, INTEGER, varchar
+
+#: Table I: DBMS -> {table: schema}
+PANDEMIC_SCHEMAS: Dict[str, Dict[str, Schema]] = {
+    "CDB": {
+        "Citizen": Schema(
+            [
+                Field("id", INTEGER),
+                Field("name", varchar(24)),
+                Field("age", INTEGER),
+                Field("address", varchar(40)),
+            ]
+        ),
+    },
+    "VDB": {
+        "Vaccines": Schema(
+            [
+                Field("id", INTEGER),
+                Field("name", varchar(24)),
+                Field("type", varchar(12)),
+                Field("manufacturer", varchar(24)),
+            ]
+        ),
+        "Vaccination": Schema(
+            [
+                Field("c_id", INTEGER),
+                Field("v_id", INTEGER),
+                Field("date", DATE),
+            ]
+        ),
+    },
+    "HDB": {
+        "Measurements": Schema(
+            [
+                Field("id", INTEGER),
+                Field("c_id", INTEGER),
+                Field("date", DATE),
+                Field("u_ml", DOUBLE),
+            ]
+        ),
+    },
+}
+
+VACCINE_TYPES = ["mRNA", "vector", "protein"]
+
+#: Fig. 3: the chief health officer's cross-database query.
+CHO_QUERY = """
+SELECT v.type, AVG(m.u_ml) AS avg_u_ml,
+       CASE WHEN c.age BETWEEN 20 AND 30 THEN '20-30'
+            WHEN c.age BETWEEN 30 AND 40 THEN '30-40'
+            WHEN c.age BETWEEN 40 AND 50 THEN '40-50'
+            WHEN c.age BETWEEN 50 AND 60 THEN '50-60'
+            ELSE '60+' END AS age_group
+FROM CDB.Citizen c, VDB.Vaccines v, VDB.Vaccination vn, HDB.Measurements m
+WHERE c.id = vn.c_id AND c.id = m.c_id AND v.id = vn.v_id AND c.age > 20
+GROUP BY age_group, v.type
+"""
+
+
+def build_pandemic_deployment(
+    citizens: int = 2_000,
+    vaccinations: int = 3_000,
+    measurements: int = 5_000,
+    seed: int = 42,
+    topology: str = "onprem",
+    profiles: Optional[Dict[str, str]] = None,
+) -> Deployment:
+    """Create the CDB/VDB/HDB federation with generated data.
+
+    ``profiles`` overrides vendors (e.g. ``{"VDB": "mariadb"}`` for the
+    paper's heterogeneity discussion — CDB on PostgreSQL, VDB on
+    MariaDB).
+    """
+    rng = random.Random(seed)
+    vendor = {"CDB": "postgres", "VDB": "postgres", "HDB": "postgres"}
+    if profiles:
+        vendor.update(profiles)
+    deployment = Deployment(vendor, topology=topology)
+
+    citizen_rows = [
+        (
+            identity,
+            f"Citizen {identity}",
+            16 + rng.randrange(74),
+            f"{1 + identity % 99} Credo Street",
+        )
+        for identity in range(1, citizens + 1)
+    ]
+    deployment.load_table(
+        "CDB", "Citizen", PANDEMIC_SCHEMAS["CDB"]["Citizen"], citizen_rows
+    )
+
+    vaccine_rows = [
+        (
+            number,
+            f"Vaccine-{number}",
+            VACCINE_TYPES[number % len(VACCINE_TYPES)],
+            f"Manufacturer {number % 4}",
+        )
+        for number in range(1, 7)
+    ]
+    deployment.load_table(
+        "VDB", "Vaccines", PANDEMIC_SCHEMAS["VDB"]["Vaccines"], vaccine_rows
+    )
+
+    vaccination_rows = [
+        (
+            rng.randrange(1, citizens + 1),
+            rng.randrange(1, 7),
+            _random_date(rng, 2021),
+        )
+        for _ in range(vaccinations)
+    ]
+    deployment.load_table(
+        "VDB",
+        "Vaccination",
+        PANDEMIC_SCHEMAS["VDB"]["Vaccination"],
+        vaccination_rows,
+    )
+
+    measurement_rows = [
+        (
+            number,
+            rng.randrange(1, citizens + 1),
+            _random_date(rng, 2021),
+            round(rng.uniform(0.0, 250.0), 2),
+        )
+        for number in range(1, measurements + 1)
+    ]
+    deployment.load_table(
+        "HDB",
+        "Measurements",
+        PANDEMIC_SCHEMAS["HDB"]["Measurements"],
+        measurement_rows,
+    )
+    return deployment
+
+
+def _random_date(rng: random.Random, year: int) -> datetime.date:
+    return datetime.date(year, 1 + rng.randrange(12), 1 + rng.randrange(28))

@@ -1,0 +1,25 @@
+"""TPC-H based workload: schema, generator, queries, and the paper's
+table distributions (Table III)."""
+
+from repro.workloads.tpch.distributions import TABLE_DISTRIBUTIONS, databases_for
+from repro.workloads.tpch.generator import TPCHData, generate
+from repro.workloads.tpch.queries import (
+    EXTENDED_QUERIES,
+    QUERIES,
+    QUERY_JOIN_COUNTS,
+    query,
+)
+from repro.workloads.tpch.schema import TPCH_SCHEMAS, TABLE_NAMES
+
+__all__ = [
+    "EXTENDED_QUERIES",
+    "QUERIES",
+    "QUERY_JOIN_COUNTS",
+    "TABLE_DISTRIBUTIONS",
+    "TABLE_NAMES",
+    "TPCH_SCHEMAS",
+    "TPCHData",
+    "databases_for",
+    "generate",
+    "query",
+]

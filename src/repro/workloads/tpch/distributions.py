@@ -1,0 +1,64 @@
+"""Table distributions TD1–TD3 (the paper's Table III).
+
+A distribution maps every TPC-H table to the database hosting it.  TD1
+and TD2 spread the schema over four databases; TD3 — the distribution
+"that affects XDB the most" (§VI-E) — over seven, with only ``nation``
+and ``region`` co-located.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+
+#: table name -> database name (matching Table III's db1..db7, with the
+#: abbreviations l, c, o, s, n, r, p, ps).
+TABLE_DISTRIBUTIONS: Dict[str, Dict[str, str]] = {
+    "TD1": {
+        "lineitem": "db1",
+        "customer": "db2",
+        "orders": "db2",
+        "supplier": "db3",
+        "nation": "db3",
+        "region": "db3",
+        "part": "db4",
+        "partsupp": "db4",
+    },
+    "TD2": {
+        "lineitem": "db1",
+        "supplier": "db1",
+        "orders": "db2",
+        "nation": "db2",
+        "region": "db2",
+        "customer": "db3",
+        "part": "db4",
+        "partsupp": "db4",
+    },
+    "TD3": {
+        "lineitem": "db1",
+        "orders": "db2",
+        "supplier": "db3",
+        "partsupp": "db4",
+        "customer": "db5",
+        "part": "db6",
+        "nation": "db7",
+        "region": "db7",
+    },
+}
+
+
+def distribution(name: str) -> Dict[str, str]:
+    """The table→database map for ``TD1`` / ``TD2`` / ``TD3``."""
+    try:
+        return TABLE_DISTRIBUTIONS[name.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown table distribution {name!r}; "
+            f"available: {sorted(TABLE_DISTRIBUTIONS)}"
+        )
+
+
+def databases_for(name: str) -> List[str]:
+    """The database names a distribution uses, in db1..db7 order."""
+    return sorted(set(distribution(name).values()))

@@ -1,0 +1,298 @@
+"""A dbgen-like TPC-H data generator.
+
+Row counts scale linearly with the scale factor exactly as in the spec
+(sf 1 ≈ 150 K customers / 1.5 M orders / ~6 M lineitems); the benchmarks
+run micro scale factors (e.g. 0.002–0.2) that stand in for the paper's
+sf 1–100 while preserving all relative cardinalities, value
+distributions, and the selectivities the evaluated queries depend on
+(market segments, region names, part types, ship dates...).
+
+Generation is deterministic for a given (scale factor, seed).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.relational.schema import Schema
+from repro.workloads.tpch.schema import TPCH_SCHEMAS
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: The 25 TPC-H nations with their region index.
+NATIONS: List[Tuple[str, int]] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+]
+
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"]
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+PART_COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "hot pink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+    "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+]
+
+START_DATE = datetime.date(1992, 1, 1)
+#: Latest order date; lineitem ship dates extend up to 122 days later.
+END_ORDER_DATE = datetime.date(1998, 8, 2)
+_ORDER_DATE_SPAN = (END_ORDER_DATE - START_DATE).days
+
+# Base row counts at scale factor 1 (per the TPC-H specification).
+BASE_SUPPLIERS = 10_000
+BASE_CUSTOMERS = 150_000
+BASE_PARTS = 200_000
+BASE_ORDERS_PER_CUSTOMER = 10
+PARTSUPP_PER_PART = 4
+MAX_LINEITEMS_PER_ORDER = 7
+
+
+@dataclass
+class TPCHData:
+    """Generated tables: name → (schema, rows)."""
+
+    scale_factor: float
+    seed: int
+    tables: Dict[str, Tuple[Schema, List[tuple]]] = field(default_factory=dict)
+
+    def rows_of(self, table: str) -> List[tuple]:
+        return self.tables[table][1]
+
+    def schema_of(self, table: str) -> Schema:
+        return self.tables[table][0]
+
+    def row_counts(self) -> Dict[str, int]:
+        return {name: len(rows) for name, (_, rows) in self.tables.items()}
+
+
+def _scaled(base: int, scale_factor: float) -> int:
+    return max(int(base * scale_factor), 1)
+
+
+def generate(scale_factor: float, seed: int = 19921) -> TPCHData:
+    """Generate all eight TPC-H tables at ``scale_factor``."""
+    if scale_factor <= 0:
+        raise WorkloadError(f"scale factor must be positive: {scale_factor}")
+    rng = random.Random(seed)
+    data = TPCHData(scale_factor=scale_factor, seed=seed)
+
+    # region ---------------------------------------------------------------
+    region_rows = [
+        (index, name, f"comment for region {name.lower()}")
+        for index, name in enumerate(REGIONS)
+    ]
+    data.tables["region"] = (TPCH_SCHEMAS["region"], region_rows)
+
+    # nation ----------------------------------------------------------------
+    nation_rows = [
+        (index, name, region, f"nation {name.lower()} notes")
+        for index, (name, region) in enumerate(NATIONS)
+    ]
+    data.tables["nation"] = (TPCH_SCHEMAS["nation"], nation_rows)
+
+    # supplier ---------------------------------------------------------------
+    supplier_count = _scaled(BASE_SUPPLIERS, scale_factor)
+    supplier_rows = []
+    for key in range(1, supplier_count + 1):
+        supplier_rows.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                f"addr s{key % 1000}",
+                rng.randrange(len(NATIONS)),
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                "supplier notes",
+            )
+        )
+    data.tables["supplier"] = (TPCH_SCHEMAS["supplier"], supplier_rows)
+
+    # customer ---------------------------------------------------------------
+    customer_count = _scaled(BASE_CUSTOMERS, scale_factor)
+    customer_rows = []
+    for key in range(1, customer_count + 1):
+        customer_rows.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                f"addr c{key % 1000}",
+                rng.randrange(len(NATIONS)),
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(MARKET_SEGMENTS),
+                "customer notes",
+            )
+        )
+    data.tables["customer"] = (TPCH_SCHEMAS["customer"], customer_rows)
+
+    # part ---------------------------------------------------------------------
+    part_count = _scaled(BASE_PARTS, scale_factor)
+    part_rows = []
+    for key in range(1, part_count + 1):
+        color_a, color_b = rng.sample(PART_COLORS, 2)
+        part_type = (
+            f"{rng.choice(TYPE_SYLLABLE_1)} "
+            f"{rng.choice(TYPE_SYLLABLE_2)} "
+            f"{rng.choice(TYPE_SYLLABLE_3)}"
+        )
+        part_rows.append(
+            (
+                key,
+                f"{color_a} {color_b} part",
+                f"Manufacturer#{1 + key % 5}",
+                f"Brand#{1 + key % 5}{1 + key % 5}",
+                part_type,
+                rng.randrange(1, 51),
+                rng.choice(CONTAINERS),
+                round(900 + (key % 1000) + rng.random() * 100, 2),
+                "part notes",
+            )
+        )
+    data.tables["part"] = (TPCH_SCHEMAS["part"], part_rows)
+
+    # partsupp -----------------------------------------------------------------
+    partsupp_rows = []
+    for key in range(1, part_count + 1):
+        for replica in range(PARTSUPP_PER_PART):
+            supp = 1 + ((key + replica * (supplier_count // PARTSUPP_PER_PART + 1)) % supplier_count)
+            partsupp_rows.append(
+                (
+                    key,
+                    supp,
+                    rng.randrange(1, 10_000),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    "partsupp notes",
+                )
+            )
+    data.tables["partsupp"] = (TPCH_SCHEMAS["partsupp"], partsupp_rows)
+
+    # orders + lineitem ------------------------------------------------------------
+    order_count = customer_count * BASE_ORDERS_PER_CUSTOMER
+    orders_rows = []
+    lineitem_rows = []
+    for key in range(1, order_count + 1):
+        custkey = rng.randrange(1, customer_count + 1)
+        order_date = START_DATE + datetime.timedelta(
+            days=rng.randrange(_ORDER_DATE_SPAN + 1)
+        )
+        line_count = rng.randrange(1, MAX_LINEITEMS_PER_ORDER + 1)
+        total_price = 0.0
+        for line_number in range(1, line_count + 1):
+            partkey = rng.randrange(1, part_count + 1)
+            suppkey = rng.randrange(1, supplier_count + 1)
+            quantity = float(rng.randrange(1, 51))
+            extended = round(quantity * (900 + partkey % 1000), 2)
+            discount = round(rng.randrange(0, 11) / 100.0, 2)
+            tax = round(rng.randrange(0, 9) / 100.0, 2)
+            ship_date = order_date + datetime.timedelta(
+                days=rng.randrange(1, 122)
+            )
+            commit_date = order_date + datetime.timedelta(
+                days=rng.randrange(30, 91)
+            )
+            receipt_date = ship_date + datetime.timedelta(
+                days=rng.randrange(1, 31)
+            )
+            return_flag = (
+                rng.choice("RA")
+                if receipt_date <= datetime.date(1995, 6, 17)
+                else "N"
+            )
+            line_status = (
+                "O" if ship_date > datetime.date(1995, 6, 17) else "F"
+            )
+            lineitem_rows.append(
+                (
+                    key,
+                    partkey,
+                    suppkey,
+                    line_number,
+                    quantity,
+                    extended,
+                    discount,
+                    tax,
+                    return_flag,
+                    line_status,
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(SHIP_INSTRUCTIONS),
+                    rng.choice(SHIP_MODES),
+                    "lineitem notes",
+                )
+            )
+            total_price += extended * (1 + tax) * (1 - discount)
+        order_status = "F" if order_date < datetime.date(1995, 6, 17) else "O"
+        orders_rows.append(
+            (
+                key,
+                custkey,
+                order_status,
+                round(total_price, 2),
+                order_date,
+                rng.choice(ORDER_PRIORITIES),
+                f"Clerk#{rng.randrange(1, 1001):09d}",
+                0,
+                "order notes",
+            )
+        )
+    data.tables["orders"] = (TPCH_SCHEMAS["orders"], orders_rows)
+    data.tables["lineitem"] = (TPCH_SCHEMAS["lineitem"], lineitem_rows)
+    return data
+
+
+def _phone(rng: random.Random) -> str:
+    return (
+        f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10000)}"
+    )
+
+
+_GENERATION_CACHE: Dict[Tuple[float, int], TPCHData] = {}
+
+
+def generate_cached(scale_factor: float, seed: int = 19921) -> TPCHData:
+    """Memoized :func:`generate` — benchmarks reuse the same datasets."""
+    key = (scale_factor, seed)
+    if key not in _GENERATION_CACHE:
+        _GENERATION_CACHE[key] = generate(scale_factor, seed)
+    return _GENERATION_CACHE[key]

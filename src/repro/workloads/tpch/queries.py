@@ -1,0 +1,265 @@
+"""The cross-database TPC-H queries of the evaluation (§VI-A).
+
+The paper evaluates Q3 (3 joins), Q5 (6), Q7 (5), Q8 (8), Q9 (6), and
+Q10 (4).  Tables are referenced unqualified — XDB's global catalog
+locates each one, so the same text runs under every table distribution.
+Q7/Q8/Q9 keep their official derived-table shape (and Q7/Q8 join
+``nation`` twice through aliases).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+
+QUERIES: Dict[str, str] = {
+    # -- Q3: shipping priority (3 joins) ---------------------------------
+    "Q3": """
+        SELECT l.l_orderkey,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+               o.o_orderdate, o.o_shippriority
+        FROM customer c, orders o, lineitem l
+        WHERE c.c_mktsegment = 'BUILDING'
+          AND c.c_custkey = o.o_custkey
+          AND l.l_orderkey = o.o_orderkey
+          AND o.o_orderdate < DATE '1995-03-15'
+          AND l.l_shipdate > DATE '1995-03-15'
+        GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+        ORDER BY revenue DESC, o.o_orderdate
+        LIMIT 10
+    """,
+    # -- Q5: local supplier volume (6 joins) --------------------------------
+    "Q5": """
+        SELECT n.n_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+        FROM customer c, orders o, lineitem l, supplier s, nation n,
+             region r
+        WHERE c.c_custkey = o.o_custkey
+          AND l.l_orderkey = o.o_orderkey
+          AND l.l_suppkey = s.s_suppkey
+          AND c.c_nationkey = s.s_nationkey
+          AND s.s_nationkey = n.n_nationkey
+          AND n.n_regionkey = r.r_regionkey
+          AND r.r_name = 'ASIA'
+          AND o.o_orderdate >= DATE '1994-01-01'
+          AND o.o_orderdate < DATE '1995-01-01'
+        GROUP BY n.n_name
+        ORDER BY revenue DESC
+    """,
+    # -- Q7: volume shipping (5 joins, nation joined twice) -----------------
+    "Q7": """
+        SELECT shipping.supp_nation, shipping.cust_nation, shipping.l_year,
+               SUM(shipping.volume) AS revenue
+        FROM (
+            SELECT n1.n_name AS supp_nation,
+                   n2.n_name AS cust_nation,
+                   EXTRACT(YEAR FROM l.l_shipdate) AS l_year,
+                   l.l_extendedprice * (1 - l.l_discount) AS volume
+            FROM supplier s, lineitem l, orders o, customer c,
+                 nation n1, nation n2
+            WHERE s.s_suppkey = l.l_suppkey
+              AND o.o_orderkey = l.l_orderkey
+              AND c.c_custkey = o.o_custkey
+              AND s.s_nationkey = n1.n_nationkey
+              AND c.c_nationkey = n2.n_nationkey
+              AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+                OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+              AND l.l_shipdate BETWEEN DATE '1995-01-01'
+                                   AND DATE '1996-12-31'
+        ) AS shipping
+        GROUP BY shipping.supp_nation, shipping.cust_nation, shipping.l_year
+        ORDER BY shipping.supp_nation, shipping.cust_nation, shipping.l_year
+    """,
+    # -- Q8: national market share (8 joins) ---------------------------------
+    "Q8": """
+        SELECT all_nations.o_year,
+               SUM(CASE WHEN all_nations.nation = 'BRAZIL'
+                        THEN all_nations.volume ELSE 0 END)
+                 / SUM(all_nations.volume) AS mkt_share
+        FROM (
+            SELECT EXTRACT(YEAR FROM o.o_orderdate) AS o_year,
+                   l.l_extendedprice * (1 - l.l_discount) AS volume,
+                   n2.n_name AS nation
+            FROM part p, supplier s, lineitem l, orders o, customer c,
+                 nation n1, nation n2, region r
+            WHERE p.p_partkey = l.l_partkey
+              AND s.s_suppkey = l.l_suppkey
+              AND l.l_orderkey = o.o_orderkey
+              AND o.o_custkey = c.c_custkey
+              AND c.c_nationkey = n1.n_nationkey
+              AND n1.n_regionkey = r.r_regionkey
+              AND r.r_name = 'AMERICA'
+              AND s.s_nationkey = n2.n_nationkey
+              AND o.o_orderdate BETWEEN DATE '1995-01-01'
+                                    AND DATE '1996-12-31'
+              AND p.p_type = 'ECONOMY ANODIZED STEEL'
+        ) AS all_nations
+        GROUP BY all_nations.o_year
+        ORDER BY all_nations.o_year
+    """,
+    # -- Q9: product type profit (6 joins) ------------------------------------
+    "Q9": """
+        SELECT profit.nation, profit.o_year, SUM(profit.amount) AS sum_profit
+        FROM (
+            SELECT n.n_name AS nation,
+                   EXTRACT(YEAR FROM o.o_orderdate) AS o_year,
+                   l.l_extendedprice * (1 - l.l_discount)
+                     - ps.ps_supplycost * l.l_quantity AS amount
+            FROM part p, supplier s, lineitem l, partsupp ps, orders o,
+                 nation n
+            WHERE s.s_suppkey = l.l_suppkey
+              AND ps.ps_suppkey = l.l_suppkey
+              AND ps.ps_partkey = l.l_partkey
+              AND p.p_partkey = l.l_partkey
+              AND o.o_orderkey = l.l_orderkey
+              AND s.s_nationkey = n.n_nationkey
+              AND p.p_name LIKE '%green%'
+        ) AS profit
+        GROUP BY profit.nation, profit.o_year
+        ORDER BY profit.nation, profit.o_year DESC
+    """,
+    # -- Q10: returned item reporting (4 joins) ---------------------------------
+    "Q10": """
+        SELECT c.c_custkey, c.c_name,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+               c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+        FROM customer c, orders o, lineitem l, nation n
+        WHERE c.c_custkey = o.o_custkey
+          AND l.l_orderkey = o.o_orderkey
+          AND o.o_orderdate >= DATE '1993-10-01'
+          AND o.o_orderdate < DATE '1994-01-01'
+          AND l.l_returnflag = 'R'
+          AND c.c_nationkey = n.n_nationkey
+        GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone,
+                 n.n_name, c.c_address, c.c_comment
+        ORDER BY revenue DESC
+        LIMIT 20
+    """,
+}
+
+#: Additional TPC-H queries in the supported subset — not part of the
+#: paper's evaluation (which uses Q3/Q5/Q7/Q8/Q9/Q10), but useful for
+#: exercising the systems more broadly.  All are tested for equivalence
+#: against a single-engine ground truth.
+EXTENDED_QUERIES: Dict[str, str] = {
+    # -- Q1: pricing summary report (single table, heavy aggregation) --
+    "Q1": """
+        SELECT l.l_returnflag, l.l_linestatus,
+               SUM(l.l_quantity) AS sum_qty,
+               SUM(l.l_extendedprice) AS sum_base_price,
+               SUM(l.l_extendedprice * (1 - l.l_discount)) AS sum_disc_price,
+               SUM(l.l_extendedprice * (1 - l.l_discount)
+                   * (1 + l.l_tax)) AS sum_charge,
+               AVG(l.l_quantity) AS avg_qty,
+               AVG(l.l_extendedprice) AS avg_price,
+               AVG(l.l_discount) AS avg_disc,
+               COUNT(*) AS count_order
+        FROM lineitem l
+        WHERE l.l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+        GROUP BY l.l_returnflag, l.l_linestatus
+        ORDER BY l.l_returnflag, l.l_linestatus
+    """,
+    # -- Q6: forecasting revenue change (single table, range filters) --
+    "Q6": """
+        SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue
+        FROM lineitem l
+        WHERE l.l_shipdate >= DATE '1994-01-01'
+          AND l.l_shipdate < DATE '1995-01-01'
+          AND l.l_discount BETWEEN 0.05 AND 0.07
+          AND l.l_quantity < 24
+    """,
+    # -- Q12: shipping modes and order priority (2 tables) ---------------
+    "Q12": """
+        SELECT l.l_shipmode,
+               SUM(CASE WHEN o.o_orderpriority = '1-URGENT'
+                          OR o.o_orderpriority = '2-HIGH'
+                        THEN 1 ELSE 0 END) AS high_line_count,
+               SUM(CASE WHEN o.o_orderpriority <> '1-URGENT'
+                         AND o.o_orderpriority <> '2-HIGH'
+                        THEN 1 ELSE 0 END) AS low_line_count
+        FROM orders o, lineitem l
+        WHERE o.o_orderkey = l.l_orderkey
+          AND l.l_shipmode IN ('MAIL', 'SHIP')
+          AND l.l_commitdate < l.l_receiptdate
+          AND l.l_shipdate < l.l_commitdate
+          AND l.l_receiptdate >= DATE '1994-01-01'
+          AND l.l_receiptdate < DATE '1995-01-01'
+        GROUP BY l.l_shipmode
+        ORDER BY l.l_shipmode
+    """,
+    # -- Q14: promotion effect (2 tables, conditional aggregation) --------
+    "Q14": """
+        SELECT 100.00 * SUM(CASE WHEN p.p_type LIKE 'PROMO%'
+                                 THEN l.l_extendedprice
+                                      * (1 - l.l_discount)
+                                 ELSE 0 END)
+                 / SUM(l.l_extendedprice * (1 - l.l_discount))
+                 AS promo_revenue
+        FROM lineitem l, part p
+        WHERE l.l_partkey = p.p_partkey
+          AND l.l_shipdate >= DATE '1995-09-01'
+          AND l.l_shipdate < DATE '1995-10-01'
+    """,
+    # -- Q19: discounted revenue (disjunctive predicate over the join) ----
+    "Q19": """
+        SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+        FROM lineitem l, part p
+        WHERE p.p_partkey = l.l_partkey
+          AND ((p.p_brand = 'Brand#11'
+                AND p.p_container IN ('SM CASE', 'SM BOX')
+                AND l.l_quantity BETWEEN 1 AND 11
+                AND p.p_size BETWEEN 1 AND 5)
+            OR (p.p_brand = 'Brand#22'
+                AND p.p_container IN ('MED BAG', 'MED BOX')
+                AND l.l_quantity BETWEEN 10 AND 20
+                AND p.p_size BETWEEN 1 AND 10)
+            OR (p.p_brand = 'Brand#33'
+                AND p.p_container IN ('LG CASE', 'LG BOX')
+                AND l.l_quantity BETWEEN 20 AND 30
+                AND p.p_size BETWEEN 1 AND 15))
+          AND l.l_shipmode IN ('AIR', 'REG AIR')
+          AND l.l_shipinstruct = 'DELIVER IN PERSON'
+    """,
+}
+
+#: Join counts as reported in §VI-A.
+QUERY_JOIN_COUNTS: Dict[str, int] = {
+    "Q3": 3,
+    "Q5": 6,
+    "Q7": 5,
+    "Q8": 8,
+    "Q9": 6,
+    "Q10": 4,
+}
+
+#: Tables each query touches (used for placement-aware setups).
+QUERY_TABLES: Dict[str, List[str]] = {
+    "Q3": ["customer", "orders", "lineitem"],
+    "Q5": ["customer", "orders", "lineitem", "supplier", "nation", "region"],
+    "Q7": ["supplier", "lineitem", "orders", "customer", "nation"],
+    "Q8": [
+        "part",
+        "supplier",
+        "lineitem",
+        "orders",
+        "customer",
+        "nation",
+        "region",
+    ],
+    "Q9": ["part", "supplier", "lineitem", "partsupp", "orders", "nation"],
+    "Q10": ["customer", "orders", "lineitem", "nation"],
+}
+
+
+def query(name: str) -> str:
+    """SQL text for an evaluated or extended query (e.g. ``"Q3"``)."""
+    key = name.upper()
+    if key in QUERIES:
+        return QUERIES[key]
+    if key in EXTENDED_QUERIES:
+        return EXTENDED_QUERIES[key]
+    raise WorkloadError(
+        f"unknown query {name!r}; available: "
+        f"{sorted(QUERIES) + sorted(EXTENDED_QUERIES)}"
+    )

@@ -1,0 +1,128 @@
+"""TPC-H relational schema (all eight tables, full column sets)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.relational.schema import Field, Schema
+from repro.sql.types import DATE, DOUBLE, INTEGER, char, varchar
+
+TPCH_SCHEMAS: Dict[str, Schema] = {
+    "region": Schema(
+        [
+            Field("r_regionkey", INTEGER),
+            Field("r_name", char(25)),
+            Field("r_comment", varchar(40)),
+        ]
+    ),
+    "nation": Schema(
+        [
+            Field("n_nationkey", INTEGER),
+            Field("n_name", char(25)),
+            Field("n_regionkey", INTEGER),
+            Field("n_comment", varchar(40)),
+        ]
+    ),
+    "supplier": Schema(
+        [
+            Field("s_suppkey", INTEGER),
+            Field("s_name", char(25)),
+            Field("s_address", varchar(40)),
+            Field("s_nationkey", INTEGER),
+            Field("s_phone", char(15)),
+            Field("s_acctbal", DOUBLE),
+            Field("s_comment", varchar(40)),
+        ]
+    ),
+    "customer": Schema(
+        [
+            Field("c_custkey", INTEGER),
+            Field("c_name", varchar(25)),
+            Field("c_address", varchar(40)),
+            Field("c_nationkey", INTEGER),
+            Field("c_phone", char(15)),
+            Field("c_acctbal", DOUBLE),
+            Field("c_mktsegment", char(10)),
+            Field("c_comment", varchar(40)),
+        ]
+    ),
+    "part": Schema(
+        [
+            Field("p_partkey", INTEGER),
+            Field("p_name", varchar(55)),
+            Field("p_mfgr", char(25)),
+            Field("p_brand", char(10)),
+            Field("p_type", varchar(25)),
+            Field("p_size", INTEGER),
+            Field("p_container", char(10)),
+            Field("p_retailprice", DOUBLE),
+            Field("p_comment", varchar(23)),
+        ]
+    ),
+    "partsupp": Schema(
+        [
+            Field("ps_partkey", INTEGER),
+            Field("ps_suppkey", INTEGER),
+            Field("ps_availqty", INTEGER),
+            Field("ps_supplycost", DOUBLE),
+            Field("ps_comment", varchar(40)),
+        ]
+    ),
+    "orders": Schema(
+        [
+            Field("o_orderkey", INTEGER),
+            Field("o_custkey", INTEGER),
+            Field("o_orderstatus", char(1)),
+            Field("o_totalprice", DOUBLE),
+            Field("o_orderdate", DATE),
+            Field("o_orderpriority", char(15)),
+            Field("o_clerk", char(15)),
+            Field("o_shippriority", INTEGER),
+            Field("o_comment", varchar(40)),
+        ]
+    ),
+    "lineitem": Schema(
+        [
+            Field("l_orderkey", INTEGER),
+            Field("l_partkey", INTEGER),
+            Field("l_suppkey", INTEGER),
+            Field("l_linenumber", INTEGER),
+            Field("l_quantity", DOUBLE),
+            Field("l_extendedprice", DOUBLE),
+            Field("l_discount", DOUBLE),
+            Field("l_tax", DOUBLE),
+            Field("l_returnflag", char(1)),
+            Field("l_linestatus", char(1)),
+            Field("l_shipdate", DATE),
+            Field("l_commitdate", DATE),
+            Field("l_receiptdate", DATE),
+            Field("l_shipinstruct", char(25)),
+            Field("l_shipmode", char(10)),
+            Field("l_comment", varchar(44)),
+        ]
+    ),
+}
+
+#: Canonical load order (respects foreign-key style dependencies).
+TABLE_NAMES: List[str] = [
+    "region",
+    "nation",
+    "supplier",
+    "customer",
+    "part",
+    "partsupp",
+    "orders",
+    "lineitem",
+]
+
+#: Single-letter abbreviations used in the paper's Table III / Table IV.
+TABLE_ABBREVIATIONS: Dict[str, str] = {
+    "lineitem": "l",
+    "customer": "c",
+    "orders": "o",
+    "supplier": "s",
+    "nation": "n",
+    "region": "r",
+    "part": "p",
+    "partsupp": "ps",
+}

@@ -1,0 +1,145 @@
+"""Plan annotation tests: Rules 1–4, pruning invariant, consultations."""
+
+import pytest
+
+from repro.core.annotate import PlanAnnotator
+from repro.core.catalog import GlobalCatalog
+from repro.core.logical import LogicalOptimizer
+from repro.core.plan import Movement
+from repro.errors import OptimizerError
+from repro.relational import algebra
+from repro.sql.parser import parse_statement
+
+
+def annotate(deployment, sql):
+    catalog = GlobalCatalog(deployment.connectors)
+    optimizer = LogicalOptimizer(catalog)
+    plan = optimizer.optimize(parse_statement(sql))
+    annotator = PlanAnnotator(deployment.connectors, deployment.network)
+    return plan, annotator.annotate(plan)
+
+
+def walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from walk(child)
+
+
+def test_rule1_scans_get_home_database(two_db_deployment):
+    plan, annotation = annotate(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    for scan in plan.leaves():
+        expected = "A" if scan.table == "users" else "B"
+        assert annotation.db_of(scan) == expected
+
+
+def test_rule2_unary_inherits(two_db_deployment):
+    plan, annotation = annotate(
+        two_db_deployment, "SELECT name FROM users WHERE id > 3"
+    )
+    for node in walk(plan):
+        assert annotation.db_of(node) == "A"
+    # All edges implicit.
+    for move in annotation.edge_move.values():
+        assert move is Movement.IMPLICIT
+
+
+def test_rule3_same_annotation_binary(two_db_deployment):
+    two_db_deployment.load_table(
+        "A",
+        "users2",
+        two_db_deployment.database("A").catalog.get("users").schema,
+        [(99, "x", 0.0)],
+    )
+    plan, annotation = annotate(
+        two_db_deployment,
+        "SELECT u.name FROM users u, users2 v WHERE u.id = v.id",
+    )
+    joins = [n for n in walk(plan) if isinstance(n, algebra.Join)]
+    assert joins and all(annotation.db_of(j) == "A" for j in joins)
+
+
+def test_rule4_places_on_an_input_database(two_db_deployment):
+    plan, annotation = annotate(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    joins = [n for n in walk(plan) if isinstance(n, algebra.Join)]
+    (join,) = joins
+    decision = annotation.decisions[id(join)]
+    # Pruning invariant (Fig. 5c): never a third DBMS.
+    assert decision.chosen_db in ("A", "B")
+    assert annotation.db_of(join) == decision.chosen_db
+    # Four alternatives were costed (2 candidates × 2 movements).
+    assert len(decision.costs) == 4
+
+
+def test_rule4_consultations_are_four_per_cross_join(two_db_deployment):
+    _, annotation = annotate(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    assert annotation.consultations == 4
+
+
+def test_rule4_stationary_edge_is_implicit(two_db_deployment):
+    plan, annotation = annotate(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    (join,) = [n for n in walk(plan) if isinstance(n, algebra.Join)]
+    chosen = annotation.db_of(join)
+    stationary = (
+        join.left if annotation.db_of(join.left) == chosen else join.right
+    )
+    assert annotation.db_of(stationary) == chosen
+    assert annotation.move_of(stationary, join) is Movement.IMPLICIT
+
+
+def test_pruning_invariant_across_tpch(tpch_tiny):
+    deployment, _ = tpch_tiny
+    from repro.workloads.tpch import QUERIES
+
+    catalog = GlobalCatalog(deployment.connectors)
+    optimizer = LogicalOptimizer(catalog)
+    annotator = PlanAnnotator(deployment.connectors, deployment.network)
+    for name, sql in QUERIES.items():
+        plan = optimizer.optimize(parse_statement(sql))
+        annotation = annotator.annotate(plan)
+        for node in walk(plan):
+            if isinstance(node, algebra.Join):
+                inputs = {
+                    annotation.db_of(node.left),
+                    annotation.db_of(node.right),
+                }
+                assert annotation.db_of(node) in inputs, name
+
+
+def test_unannotated_scan_raises():
+    from repro.relational.schema import Field, Schema
+    from repro.sql.types import INTEGER
+
+    scan = algebra.Scan("t", "t", Schema([Field("a", INTEGER)]))
+    annotator = PlanAnnotator({}, None)
+    with pytest.raises(OptimizerError):
+        annotator.annotate(scan)
+
+
+def test_missing_cardinalities_raise(two_db_deployment):
+    from repro.core.catalog import GlobalCatalog
+    from repro.relational.builder import build_plan
+
+    catalog = GlobalCatalog(two_db_deployment.connectors)
+    plan = build_plan(
+        parse_statement(
+            "SELECT u.name FROM users u, events e WHERE u.id = e.user_id"
+        ),
+        catalog,
+    )  # NOT optimized: no estimates
+    annotator = PlanAnnotator(
+        two_db_deployment.connectors, two_db_deployment.network
+    )
+    with pytest.raises(OptimizerError, match="cardinality"):
+        annotator.annotate(plan)

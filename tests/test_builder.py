@@ -1,0 +1,215 @@
+"""Plan builder tests: binding SELECT ASTs into logical plans."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.relational import algebra
+from repro.relational.builder import (
+    ResolvedTable,
+    TableResolver,
+    build_plan,
+    unique_names,
+)
+from repro.relational.schema import Field, Schema
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.types import DATE, DOUBLE, INTEGER, TypeKind, varchar
+
+
+class FakeResolver(TableResolver):
+    def __init__(self):
+        self.tables = {
+            "t": Schema(
+                [
+                    Field("a", INTEGER),
+                    Field("b", DOUBLE),
+                    Field("s", varchar(8)),
+                    Field("d", DATE),
+                ]
+            ),
+            "u": Schema([Field("a", INTEGER), Field("x", INTEGER)]),
+        }
+        self.views = {
+            "v": parse_statement("SELECT a, b FROM t WHERE a > 1"),
+        }
+
+    def resolve_table(self, parts):
+        name = parts[-1].lower()
+        if name in self.views:
+            return ResolvedTable(table=name, view_query=self.views[name])
+        if name in self.tables:
+            return ResolvedTable(
+                table=name, schema=self.tables[name], source_db="DB"
+            )
+        raise BindError(f"unknown table {name}")
+
+
+def build(sql):
+    return build_plan(parse_statement(sql), FakeResolver())
+
+
+def test_simple_select_structure():
+    plan = build("SELECT a, b FROM t")
+    assert isinstance(plan, algebra.Project)
+    assert isinstance(plan.child, algebra.Scan)
+    assert plan.schema.names == ["a", "b"]
+
+
+def test_scan_carries_source_db():
+    plan = build("SELECT a AS x FROM t")
+    scan = plan.leaves()[0]
+    assert scan.source_db == "DB"
+
+
+def test_star_expansion():
+    plan = build("SELECT * FROM t")
+    assert plan.schema.names == ["a", "b", "s", "d"]
+
+
+def test_qualified_star_expansion():
+    plan = build("SELECT u.* FROM t, u")
+    assert plan.schema.names == ["a", "x"]
+
+
+def test_unknown_star_qualifier():
+    with pytest.raises(BindError):
+        build("SELECT nope.* FROM t")
+
+
+def test_where_becomes_filter():
+    plan = build("SELECT a FROM t WHERE a > 1")
+    assert isinstance(plan.child, algebra.Filter)
+
+
+def test_comma_join_is_cross():
+    plan = build("SELECT t.a AS ta FROM t, u")
+    join = plan.child
+    assert isinstance(join, algebra.Join) and join.kind == "CROSS"
+
+
+def test_explicit_join_condition_kept():
+    plan = build("SELECT t.a AS ta FROM t JOIN u ON t.a = u.a")
+    join = plan.child
+    assert isinstance(join, algebra.Join) and join.kind == "INNER"
+    assert join.condition is not None
+
+
+def test_left_join():
+    plan = build("SELECT t.a AS ta, u.x FROM t LEFT JOIN u ON t.a = u.a")
+    assert plan.child.kind == "LEFT"
+
+
+def test_derived_table_alias_binding():
+    plan = build("SELECT q.a FROM (SELECT a FROM t) AS q")
+    alias = plan.child
+    assert isinstance(alias, algebra.Alias) and alias.binding == "q"
+
+
+def test_view_expansion():
+    plan = build("SELECT v.a FROM v")
+    alias = plan.child
+    assert isinstance(alias, algebra.Alias)
+    # View body includes its own filter.
+    assert any(
+        isinstance(node, algebra.Filter)
+        for node in _walk(alias)
+    )
+
+
+def test_aggregate_detection_and_schema():
+    plan = build("SELECT s, COUNT(*) AS n, SUM(a) AS total FROM t GROUP BY s")
+    assert plan.schema.names == ["s", "n", "total"]
+    agg = plan.child
+    assert isinstance(agg, algebra.Aggregate)
+    assert [spec.func for spec in agg.aggregates] == ["COUNT", "SUM"]
+    assert agg.aggregates[0].arg is None  # COUNT(*)
+
+
+def test_global_aggregate_without_group_by():
+    plan = build("SELECT COUNT(*) AS n FROM t")
+    assert isinstance(plan.child, algebra.Aggregate)
+    assert plan.child.keys == ()
+
+
+def test_group_by_alias_resolution():
+    plan = build(
+        "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END AS bucket, "
+        "COUNT(*) AS n FROM t GROUP BY bucket"
+    )
+    agg = plan.child
+    assert isinstance(agg, algebra.Aggregate)
+    assert agg.keys[0].name == "bucket"
+    assert isinstance(agg.keys[0].expr, ast.CaseWhen)
+
+
+def test_having_becomes_filter_above_aggregate():
+    plan = build("SELECT s FROM t GROUP BY s HAVING COUNT(*) > 2")
+    having = plan.child
+    assert isinstance(having, algebra.Filter)
+    assert isinstance(having.child, algebra.Aggregate)
+
+
+def test_having_without_group_by_rejected():
+    with pytest.raises(BindError):
+        build("SELECT a FROM t HAVING a > 1")
+
+
+def test_order_by_alias_and_position():
+    plan = build("SELECT a AS x, b FROM t ORDER BY x DESC, 2")
+    assert isinstance(plan, algebra.Sort)
+    assert plan.keys[0].ascending is False
+    # position 2 resolves to column "b"
+    assert isinstance(plan.keys[1].expr, ast.ColumnRef)
+    assert plan.keys[1].expr.name == "b"
+
+
+def test_order_by_position_out_of_range():
+    with pytest.raises(BindError):
+        build("SELECT a FROM t ORDER BY 5")
+
+
+def test_order_by_aggregate_alias():
+    plan = build(
+        "SELECT s, SUM(a) AS total FROM t GROUP BY s ORDER BY total DESC"
+    )
+    assert isinstance(plan, algebra.Sort)
+
+
+def test_limit_and_distinct():
+    plan = build("SELECT DISTINCT a FROM t LIMIT 3")
+    assert isinstance(plan, algebra.Limit)
+    assert isinstance(plan.child, algebra.Distinct)
+
+
+def test_duplicate_output_names_uniquified():
+    plan = build("SELECT a, a FROM t")
+    assert plan.schema.names == ["a", "a_1"]
+
+
+def test_unique_names_helper():
+    assert unique_names(["a", "A", "a"]) == ["a", "A_1", "a_2"]
+    assert unique_names(["x", "y"]) == ["x", "y"]
+
+
+def test_ambiguous_column_across_tables():
+    with pytest.raises(BindError, match="ambiguous"):
+        build("SELECT a FROM t, u")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(BindError):
+        build("SELECT 1 AS one")
+
+
+def test_result_type_of_aggregates():
+    plan = build("SELECT AVG(a) AS m, SUM(a) AS s2, MIN(s) AS lo FROM t")
+    fields = {f.name: f.type.kind for f in plan.schema}
+    assert fields["m"] is TypeKind.DOUBLE
+    assert fields["s2"] is TypeKind.BIGINT  # SUM(INTEGER) widens
+    assert fields["lo"] is TypeKind.VARCHAR
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)

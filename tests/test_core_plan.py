@@ -1,0 +1,96 @@
+"""Delegation plan IR tests."""
+
+import pytest
+
+from repro.core.plan import DelegationPlan, Movement, Task
+from repro.errors import OptimizerError
+from repro.relational import algebra
+from repro.relational.schema import Field, Schema
+from repro.sql.parser import parse_expression
+from repro.sql.types import INTEGER
+
+T = Schema([Field("a", INTEGER), Field("k", INTEGER)])
+U = Schema([Field("k", INTEGER), Field("w", INTEGER)])
+
+
+def simple_plan():
+    dplan = DelegationPlan()
+    producer_expr = algebra.Scan("t", "t", T, source_db="A")
+    producer = dplan.new_task("A", producer_expr, estimated_rows=10)
+    placeholder = algebra.Scan(
+        "?", "xin_1", producer_expr.schema, placeholder=True, requalify=False
+    )
+    consumer_expr = algebra.Join(
+        placeholder,
+        algebra.Scan("u", "u", U, source_db="B"),
+        parse_expression("t.k = u.k"),
+    )
+    consumer = dplan.new_task("B", consumer_expr, estimated_rows=5)
+    dplan.add_edge(producer, consumer, Movement.IMPLICIT, "xin_1")
+    dplan.set_root(consumer)
+    return dplan, producer, consumer
+
+
+def test_navigation():
+    dplan, producer, consumer = simple_plan()
+    assert dplan.root is consumer
+    assert dplan.children_of(consumer) == [producer]
+    assert dplan.children_of(producer) == []
+    assert len(dplan.in_edges(consumer)) == 1
+    assert dplan.out_edge(producer).consumer_id == consumer.task_id
+    assert dplan.out_edge(consumer) is None
+
+
+def test_topological_order():
+    dplan, producer, consumer = simple_plan()
+    order = [task.task_id for task in dplan.topological()]
+    assert order == [producer.task_id, consumer.task_id]
+
+
+def test_movement_counts_and_annotations():
+    dplan, _, _ = simple_plan()
+    counts = dplan.movement_counts()
+    assert counts[Movement.IMPLICIT] == 1
+    assert counts[Movement.EXPLICIT] == 0
+    assert dplan.annotations() == ["A", "B"]
+
+
+def test_task_helpers():
+    dplan, producer, consumer = simple_plan()
+    assert producer.base_tables() == ["t"]
+    assert not producer.placeholders()
+    assert [s.binding for s in consumer.placeholders()] == ["xin_1"]
+    assert consumer.base_tables() == ["u"]
+
+
+def test_notation():
+    dplan, producer, consumer = simple_plan()
+    assert producer.notation() == "t"
+    assert consumer.notation() == "⋈(?,u)"
+    assert str(consumer) == "B:⋈(?,u)"
+
+
+def test_notation_verbose_includes_sigma_pi():
+    scan = algebra.Scan("t", "t", T, source_db="A")
+    filtered = algebra.Filter(scan, parse_expression("t.a > 1"))
+    task = Task(1, "A", filtered)
+    assert task.notation(compact=False) == "σ(t)"
+
+
+def test_describe_includes_rows_when_known():
+    dplan, _, _ = simple_plan()
+    dplan.edges[0].moved_rows = 123
+    assert "[123 rows]" in dplan.describe()
+
+
+def test_describe_single_task():
+    dplan = DelegationPlan()
+    task = dplan.new_task("A", algebra.Scan("t", "t", T, source_db="A"))
+    dplan.set_root(task)
+    assert "single task" in dplan.describe()
+
+
+def test_root_required():
+    dplan = DelegationPlan()
+    with pytest.raises(OptimizerError):
+        _ = dplan.root

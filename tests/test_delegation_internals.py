@@ -1,0 +1,142 @@
+"""Delegation engine and MW decomposition internals / error paths."""
+
+import pytest
+
+from repro.baselines.mediator import MEDIATOR, MediatorSystem
+from repro.core.delegate import DelegationEngine
+from repro.core.plan import DelegationPlan, Movement
+from repro.core.timing import _consuming_join_sides
+from repro.errors import DelegationError
+from repro.relational import algebra
+from repro.relational.schema import Field, Schema
+from repro.sql.parser import parse_expression
+from repro.sql.types import INTEGER
+from repro.workloads.tpch import query
+
+T = Schema([Field("a", INTEGER), Field("k", INTEGER)])
+
+
+def test_delegate_requires_known_connector():
+    dplan = DelegationPlan()
+    task = dplan.new_task(
+        "GHOST_DB", algebra.Scan("t", "t", T, source_db="GHOST_DB")
+    )
+    dplan.set_root(task)
+    engine = DelegationEngine({})
+    with pytest.raises(DelegationError, match="GHOST_DB"):
+        engine.delegate(dplan)
+
+
+def test_resolve_placeholder_missing_raises(two_db_deployment):
+    dplan = DelegationPlan()
+    producer = dplan.new_task(
+        "A",
+        algebra.Scan(
+            "users",
+            "u",
+            two_db_deployment.database("A").catalog.get("users").schema,
+            source_db="A",
+        ),
+    )
+    consumer_expr = algebra.Scan(
+        "events",
+        "e",
+        two_db_deployment.database("B").catalog.get("events").schema,
+        source_db="B",
+    )
+    consumer = dplan.new_task("B", consumer_expr)
+    dplan.add_edge(producer, consumer, Movement.IMPLICIT, "xin_missing")
+    dplan.set_root(consumer)
+    engine = DelegationEngine(two_db_deployment.connectors)
+    with pytest.raises(DelegationError, match="placeholder"):
+        engine.delegate(dplan)
+
+
+def test_query_ids_monotonic(two_db_deployment):
+    from repro.core.client import XDB
+
+    xdb = XDB(two_db_deployment)
+    sql = (
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id"
+    )
+    first = xdb.submit(sql)
+    second = xdb.submit(sql)
+    first_views = [n for _, _, n in first.deployed.created_objects]
+    second_views = [
+        name for _, _, name in second.deployed.created_objects
+    ]
+    del first_views  # cleaned up already; names recorded in ddl_log
+    assert any("xv_1_" in sql_text for _, sql_text in first.deployed.ddl_log)
+    assert any(
+        "xv_2_" in sql_text for _, sql_text in second.deployed.ddl_log
+    )
+    del second_views
+
+
+def test_consuming_join_sides_direct_and_fallback():
+    placeholder = algebra.Scan(
+        "ph",
+        "xin_1",
+        Schema([Field("k", INTEGER, "p")]),
+        placeholder=True,
+        requalify=False,
+    )
+    other = algebra.Scan("t", "t", T, source_db="A")
+    join = algebra.Join(
+        placeholder, other, parse_expression("p.k = t.k")
+    )
+
+    class FakeTask:
+        expr = join
+
+    leaf, sibling = _consuming_join_sides(FakeTask, "xin_1")
+    assert leaf is placeholder
+    assert sibling is other
+
+    class LoneTask:
+        expr = placeholder
+
+    leaf, sibling = _consuming_join_sides(LoneTask, "xin_1")
+    assert leaf is placeholder and sibling is None
+
+    class NoMatch:
+        expr = other
+
+    leaf, sibling = _consuming_join_sides(NoMatch, "xin_1")
+    assert leaf is None and sibling is None
+
+
+# -- MW decomposition internals ------------------------------------------------------
+
+
+def test_mw_annotation_marks_cross_db_as_mediator(tpch_tiny):
+    deployment, _ = tpch_tiny
+    system = MediatorSystem(deployment, mediator_name="mw_test_mediator")
+    from repro.sql.parser import parse_statement
+
+    plan = system.optimizer.optimize(parse_statement(query("Q3")))
+    annotation = system._annotate(plan)
+    root_db = annotation.db_of(plan)
+    assert root_db == MEDIATOR
+
+
+def test_mw_no_colocated_pushdown_variant(tpch_tiny):
+    deployment, _ = tpch_tiny
+
+    class PerTable(MediatorSystem):
+        name = "per-table"
+        pushdown_colocated_joins = False
+
+    system = PerTable(deployment, mediator_name="pt_mediator")
+    report = system.run(query("Q3"))
+    # customer+orders are co-located on db2 under TD1, but a per-table
+    # system still fetches them separately: 3 subqueries.
+    assert report.subquery_count == 3
+
+
+def test_mw_single_source_query_short_circuits(tpch_tiny):
+    deployment, _ = tpch_tiny
+    system = MediatorSystem(deployment, mediator_name="sq_mediator")
+    report = system.run(query("Q1"))  # lineitem only
+    assert report.subquery_count == 1
+    assert len(report.result) > 0

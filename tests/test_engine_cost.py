@@ -1,0 +1,176 @@
+"""Cardinality estimation and cost model tests."""
+
+import pytest
+
+from repro.engine.cost import CardinalityEstimator, CostModel
+from repro.engine.database import Database
+from repro.engine.profiles import profile_for
+from repro.relational import algebra
+from repro.relational.builder import build_plan
+from repro.relational.schema import Field, Schema
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.types import DATE, DOUBLE, INTEGER, varchar
+
+import datetime
+
+
+@pytest.fixture
+def db():
+    database = Database("D")
+    database.create_table(
+        "facts",
+        Schema(
+            [
+                Field("id", INTEGER),
+                Field("cat", varchar(4)),
+                Field("amount", DOUBLE),
+                Field("d", DATE),
+            ]
+        ),
+        [
+            (
+                i,
+                ["a", "b", "c", "d"][i % 4],
+                float(i),
+                datetime.date(2020, 1, 1) + datetime.timedelta(days=i % 100),
+            )
+            for i in range(1000)
+        ],
+    )
+    database.create_table(
+        "dims",
+        Schema([Field("id", INTEGER), Field("label", varchar(6))]),
+        [(i, f"l{i}") for i in range(50)],
+    )
+    return database
+
+
+def estimate(db, sql):
+    plan = build_plan(parse_statement(sql), db.catalog)
+    plan = db.planner.optimize(plan)
+    estimator = db.planner.make_estimator()
+    return estimator.estimate_rows(plan), plan
+
+
+def test_scan_estimate_is_row_count(db):
+    rows, _ = estimate(db, "SELECT id FROM facts")
+    assert rows == 1000
+
+
+def test_equality_selectivity_uses_ndv(db):
+    rows, _ = estimate(db, "SELECT id FROM facts WHERE cat = 'a'")
+    assert rows == pytest.approx(250, rel=0.05)
+
+
+def test_range_selectivity_uses_min_max(db):
+    rows, _ = estimate(db, "SELECT id FROM facts WHERE id < 100")
+    assert rows == pytest.approx(100, rel=0.2)
+
+
+def test_date_range_selectivity(db):
+    rows, _ = estimate(
+        db, "SELECT id FROM facts WHERE d < DATE '2020-01-26'"
+    )
+    assert rows == pytest.approx(250, rel=0.2)
+
+
+def test_between_selectivity(db):
+    rows, _ = estimate(
+        db, "SELECT id FROM facts WHERE id BETWEEN 100 AND 199"
+    )
+    assert rows == pytest.approx(100, rel=0.25)
+
+
+def test_in_list_selectivity(db):
+    rows, _ = estimate(db, "SELECT id FROM facts WHERE cat IN ('a', 'b')")
+    assert rows == pytest.approx(500, rel=0.1)
+
+
+def test_conjunction_multiplies(db):
+    rows, _ = estimate(
+        db, "SELECT id FROM facts WHERE cat = 'a' AND id < 100"
+    )
+    assert rows == pytest.approx(25, rel=0.4)
+
+
+def test_join_selectivity_uses_key_ndv(db):
+    rows, _ = estimate(
+        db,
+        "SELECT f.id AS fi FROM facts f, dims s WHERE f.id = s.id",
+    )
+    # 1000 * 50 / max(1000, 50) = 50
+    assert rows == pytest.approx(50, rel=0.3)
+
+
+def test_aggregate_estimate_bounded_by_group_ndv(db):
+    rows, _ = estimate(
+        db, "SELECT cat, COUNT(*) AS n FROM facts GROUP BY cat"
+    )
+    assert rows == pytest.approx(4, abs=2)
+
+
+def test_limit_caps_estimate(db):
+    rows, _ = estimate(db, "SELECT id FROM facts LIMIT 7")
+    assert rows == 7
+
+
+def test_estimates_annotate_every_node(db):
+    _, plan = estimate(
+        db, "SELECT f.id AS fi FROM facts f, dims s WHERE f.id = s.id"
+    )
+
+    def check(node):
+        assert node.estimated_rows is not None
+        for child in node.children():
+            check(child)
+
+    check(plan)
+
+
+def test_cost_monotone_in_input_size(db):
+    profile = profile_for("postgres")
+    model = CostModel(profile)
+    estimator = db.planner.make_estimator()
+    small = build_plan(
+        parse_statement("SELECT id FROM dims"), db.catalog
+    )
+    large = build_plan(
+        parse_statement("SELECT id FROM facts"), db.catalog
+    )
+    assert model.plan_cost(large, estimator) > model.plan_cost(
+        small, estimator
+    )
+
+
+def test_cost_includes_startup(db):
+    profile = profile_for("hive")
+    model = CostModel(profile)
+    estimator = db.planner.make_estimator()
+    plan = build_plan(parse_statement("SELECT id FROM dims"), db.catalog)
+    assert model.plan_cost(plan, estimator) >= profile.startup_cost
+
+
+def test_placeholder_scan_uses_preset_estimate():
+    scan = algebra.Scan(
+        "ph",
+        "x",
+        Schema([Field("a", INTEGER)]),
+        placeholder=True,
+        requalify=False,
+    )
+    scan.estimated_rows = 1234.0
+
+    def provider(node):
+        from repro.engine.cost import ScanStats
+
+        assert node.placeholder
+        return ScanStats(row_count=node.estimated_rows, columns={})
+
+    estimator = CardinalityEstimator(provider)
+    assert estimator.estimate_rows(scan) == 1234.0
+
+
+def test_calibration_converts_units_to_seconds():
+    profile = profile_for("postgres")
+    assert profile.cost_to_seconds(profile.calibration) == pytest.approx(1.0)

@@ -1,0 +1,135 @@
+"""Local planner lowering tests: physical operator selection."""
+
+import pytest
+
+from repro.engine import physical
+from repro.engine.database import Database
+from repro.engine.fdw import ForeignScan
+from repro.errors import ExecutionError
+from repro.relational import algebra
+from repro.relational.builder import build_plan
+from repro.relational.schema import Field, Schema
+from repro.sql.parser import parse_statement
+from repro.sql.types import INTEGER, varchar
+
+
+@pytest.fixture
+def db():
+    database = Database("D")
+    database.create_table(
+        "t",
+        Schema([Field("k", INTEGER), Field("v", INTEGER)]),
+        [(i, i * 2) for i in range(50)],
+    )
+    database.create_table(
+        "u",
+        Schema([Field("k", INTEGER), Field("w", varchar(4))]),
+        [(i, f"w{i}") for i in range(0, 50, 5)],
+    )
+    return database
+
+
+def lower(db, sql):
+    plan = build_plan(parse_statement(sql), db.catalog)
+    plan = db.planner.optimize(plan)
+    return db.planner.to_physical(plan)
+
+
+def find_ops(plan, kind):
+    found = []
+
+    def walk(node):
+        if isinstance(node, kind):
+            found.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return found
+
+
+def test_equi_join_lowered_to_hash_join(db):
+    plan = lower(db, "SELECT t.v FROM t, u WHERE t.k = u.k")
+    assert find_ops(plan, physical.HashJoin)
+    assert not find_ops(plan, physical.NestedLoopJoin)
+
+
+def test_non_equi_join_lowered_to_nested_loop(db):
+    plan = lower(db, "SELECT t.v FROM t, u WHERE t.k < u.k")
+    assert find_ops(plan, physical.NestedLoopJoin)
+    assert not find_ops(plan, physical.HashJoin)
+
+
+def test_cross_join_lowered_to_nested_loop(db):
+    plan = lower(db, "SELECT t.v FROM t CROSS JOIN u")
+    (join,) = find_ops(plan, physical.NestedLoopJoin)
+    assert join.kind == "CROSS"
+
+
+def test_left_join_lowered_to_hash_left(db):
+    plan = lower(db, "SELECT t.v FROM t LEFT JOIN u ON t.k = u.k")
+    (join,) = find_ops(plan, physical.HashJoin)
+    assert join.kind == "LEFT"
+
+
+def test_aggregate_and_sort_lowering(db):
+    plan = lower(
+        db,
+        "SELECT w, COUNT(*) AS n FROM u GROUP BY w ORDER BY n DESC LIMIT 2",
+    )
+    assert find_ops(plan, physical.HashAggregate)
+    assert find_ops(plan, physical.SortOp)
+    assert find_ops(plan, physical.LimitOp)
+
+
+def test_distinct_lowering(db):
+    plan = lower(db, "SELECT DISTINCT w FROM u")
+    assert find_ops(plan, physical.DistinctOp)
+
+
+def test_placeholder_scan_rejected_by_executor(db):
+    placeholder = algebra.Scan(
+        "ph",
+        "x",
+        Schema([Field("a", INTEGER)]),
+        placeholder=True,
+        requalify=False,
+    )
+    with pytest.raises(ExecutionError, match="placeholder"):
+        db.planner.to_physical(placeholder)
+
+
+def test_alias_lowered_to_rebind(db):
+    plan = build_plan(
+        parse_statement("SELECT q.v FROM (SELECT v FROM t) AS q"),
+        db.catalog,
+    )
+    physical_plan = db.planner.to_physical(plan)
+    rows = list(physical_plan.rows())
+    assert len(rows) == 50
+
+
+def test_foreign_scan_used_for_foreign_tables():
+    from repro.engine.fdw import RemoteServer
+    from repro.net.network import Network
+
+    network = Network()
+    network.add_node("L")
+    network.add_node("R")
+    local = Database("L", node="L")
+    remote = Database("R", node="R")
+    remote.create_table(
+        "src", Schema([Field("a", INTEGER)]), [(1,), (2,)]
+    )
+    local.register_server(
+        "R", RemoteServer("R", remote, network, "L", "R")
+    )
+    local.execute(
+        "CREATE FOREIGN TABLE f (a INTEGER) SERVER R "
+        "OPTIONS (table_name 'src')"
+    )
+    plan = build_plan(parse_statement("SELECT a FROM f"), local.catalog)
+    plan = local.planner.optimize(plan)
+    physical_plan = local.planner.to_physical(plan)
+    scans = find_ops(physical_plan, ForeignScan)
+    assert scans and scans[0].tag == "fdw:src"

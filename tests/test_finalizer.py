@@ -1,0 +1,143 @@
+"""Plan finalization tests: task grouping, placeholders, renames."""
+
+import pytest
+
+from repro.core.annotate import PlanAnnotator
+from repro.core.catalog import GlobalCatalog
+from repro.core.finalize import PlanFinalizer
+from repro.core.logical import LogicalOptimizer
+from repro.core.plan import Movement
+from repro.relational import algebra
+from repro.relational.schema import Field, Schema
+from repro.sql.parser import parse_statement
+from repro.sql.types import INTEGER, varchar
+
+
+def finalize(deployment, sql):
+    catalog = GlobalCatalog(deployment.connectors)
+    optimizer = LogicalOptimizer(catalog)
+    plan = optimizer.optimize(parse_statement(sql))
+    annotator = PlanAnnotator(deployment.connectors, deployment.network)
+    annotation = annotator.annotate(plan)
+    return PlanFinalizer().finalize(plan, annotation)
+
+
+def test_single_database_query_is_one_task(two_db_deployment):
+    dplan = finalize(
+        two_db_deployment, "SELECT name FROM users WHERE id > 2"
+    )
+    assert dplan.task_count() == 1
+    assert not dplan.edges
+    assert dplan.root.annotation == "A"
+
+
+def test_cross_database_join_creates_two_tasks(two_db_deployment):
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.name, COUNT(*) AS n FROM users u, events e "
+        "WHERE u.id = e.user_id GROUP BY u.name",
+    )
+    assert dplan.task_count() == 2
+    (edge,) = dplan.edges
+    producer = dplan.tasks[edge.producer_id]
+    consumer = dplan.tasks[edge.consumer_id]
+    assert {producer.annotation, consumer.annotation} == {"A", "B"}
+    assert dplan.root is consumer
+
+
+def test_placeholder_wiring(two_db_deployment):
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    (edge,) = dplan.edges
+    consumer = dplan.tasks[edge.consumer_id]
+    placeholders = consumer.placeholders()
+    assert len(placeholders) == 1
+    assert placeholders[0].binding == edge.placeholder
+    # Placeholder schema mirrors the producer's output.
+    producer = dplan.tasks[edge.producer_id]
+    assert placeholders[0].schema.names == producer.expr.schema.names
+
+
+def test_placeholder_estimated_rows_propagated(two_db_deployment):
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    (edge,) = dplan.edges
+    consumer = dplan.tasks[edge.consumer_id]
+    (placeholder,) = consumer.placeholders()
+    assert placeholder.estimated_rows and placeholder.estimated_rows > 0
+
+
+def test_operators_grouped_maximally(two_db_deployment):
+    # Aggregation over the cross join stays fused with the root task.
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.name, SUM(e.weight) AS s FROM users u, events e "
+        "WHERE u.id = e.user_id GROUP BY u.name",
+    )
+    assert dplan.task_count() == 2
+    root = dplan.root
+    kinds = {type(node).__name__ for node in _walk(root.expr)}
+    assert "Aggregate" in kinds and "Join" in kinds
+
+
+def test_notation_render(two_db_deployment):
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    text = dplan.describe()
+    assert "⋈" in text
+    assert "--" in text  # edge arrow with movement annotation
+
+
+def test_duplicate_names_normalized_with_project(two_db_deployment):
+    """Producer outputs with duplicate column names get normalized."""
+    # users.id (A) joined against a second table with column `id` (B).
+    two_db_deployment.load_table(
+        "B",
+        "badges",
+        Schema([Field("id", INTEGER), Field("label", varchar(6))]),
+        [(i, f"b{i}") for i in range(1, 21)],
+    )
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.id, b.id, e.kind FROM users u, badges b, events e "
+        "WHERE u.id = b.id AND u.id = e.user_id",
+    )
+    # Whatever the grouping, every producer task must expose unique names.
+    for edge in dplan.edges:
+        producer = dplan.tasks[edge.producer_id]
+        names = [n.lower() for n in producer.expr.schema.names]
+        assert len(set(names)) == len(names)
+    # And the full query still runs (exercised end-to-end elsewhere).
+
+
+def test_movement_annotations_preserved(two_db_deployment):
+    dplan = finalize(
+        two_db_deployment,
+        "SELECT u.name FROM users u, events e WHERE u.id = e.user_id",
+    )
+    (edge,) = dplan.edges
+    assert edge.movement in (Movement.IMPLICIT, Movement.EXPLICIT)
+
+
+def test_topological_order_producers_first(tpch_tiny):
+    deployment, _ = tpch_tiny
+    from repro.workloads.tpch import query
+
+    dplan = finalize(deployment, query("Q5"))
+    seen = set()
+    for task in dplan.topological():
+        for edge in dplan.in_edges(task):
+            assert edge.producer_id in seen
+        seen.add(task.task_id)
+
+
+def _walk(plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)

@@ -1,0 +1,13 @@
+"""Smoke test for the ``python -m repro`` demo entry point."""
+
+from repro.__main__ import main
+
+
+def test_demo_runs_and_reports(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "delegation plan" in out
+    assert "XDB" in out and "Garlic" in out and "Sclera" in out
+    assert "CREATE VIEW" in out
+    # The comparison table reports megabytes moved per system.
+    assert "moved_MB" in out

@@ -1,0 +1,181 @@
+"""Tests for the optimizer's ablation knobs: movement policy, Rule-4
+candidate pruning, bushy plans, and the no-pipelining schedule."""
+
+import pytest
+
+from repro.core.client import XDB
+from repro.core.plan import Movement
+from repro.core.timing import simulate_schedule
+from repro.errors import OptimizerError
+from repro.relational import algebra
+from repro.relational.optimizer import push_filters, reorder_joins
+from repro.workloads.tpch import query
+
+from conftest import assert_same_rows
+
+
+# -- movement policies ----------------------------------------------------------
+
+
+def test_movement_policy_validated(tpch_tiny):
+    deployment, _ = tpch_tiny
+    with pytest.raises(OptimizerError):
+        XDB(deployment, movement_policy="sometimes")
+
+
+@pytest.mark.parametrize("policy", ["implicit", "explicit"])
+def test_forced_movement_policies_still_correct(
+    tpch_tiny, tpch_tiny_ground_truth, policy
+):
+    deployment, _ = tpch_tiny
+    xdb = XDB(deployment, movement_policy=policy)
+    report = xdb.submit(query("Q5"))
+    truth = tpch_tiny_ground_truth.execute(query("Q5"))
+    assert_same_rows(report.result.rows, truth.rows)
+    expected = (
+        Movement.IMPLICIT if policy == "implicit" else Movement.EXPLICIT
+    )
+    assert report.plan.edges
+    for edge in report.plan.edges:
+        assert edge.movement is expected
+
+
+def test_explicit_policy_materializes_tables(tpch_tiny):
+    deployment, _ = tpch_tiny
+    xdb = XDB(deployment, movement_policy="explicit")
+    report = xdb.submit(query("Q3"), cleanup=False)
+    try:
+        tables = [
+            entry
+            for entry in report.deployed.created_objects
+            if entry[1] == "TABLE"
+        ]
+        assert len(tables) == len(report.plan.edges)
+    finally:
+        report.deployed.cleanup()
+
+
+# -- Rule-4 candidate pruning --------------------------------------------------------
+
+
+def test_unpruned_search_consults_more(tpch_tiny, tpch_tiny_ground_truth):
+    deployment, _ = tpch_tiny
+    pruned = XDB(deployment).submit(query("Q5"))
+    full = XDB(deployment, prune_candidates=False).submit(query("Q5"))
+    assert full.consultations > pruned.consultations
+    truth = tpch_tiny_ground_truth.execute(query("Q5"))
+    assert_same_rows(full.result.rows, truth.rows)
+
+
+def test_unpruned_may_place_on_third_dbms(tpch_tiny):
+    """Without pruning, Fig. 5c-style plans are reachable (legal, just
+    never cheaper in the paper's argument)."""
+    deployment, _ = tpch_tiny
+    xdb = XDB(deployment, prune_candidates=False)
+    report = xdb.submit(query("Q8"))
+    # Whatever it chose, results flow and a root exists.
+    assert report.plan.root is not None
+
+
+# -- bushy plans ------------------------------------------------------------------------
+
+
+def test_bushy_shape_validated(tpch_tiny):
+    deployment, _ = tpch_tiny
+    with pytest.raises(OptimizerError):
+        XDB(deployment, plan_shape="spherical").submit(query("Q3"))
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q5", "Q8", "Q9"])
+def test_bushy_plans_match_ground_truth(
+    tpch_tiny, tpch_tiny_ground_truth, name
+):
+    deployment, _ = tpch_tiny
+    xdb = XDB(deployment, plan_shape="bushy")
+    report = xdb.submit(query(name))
+    truth = tpch_tiny_ground_truth.execute(query(name))
+    assert_same_rows(report.result.rows, truth.rows)
+
+
+def test_bushy_reorder_can_produce_bushy_tree(two_db_deployment):
+    """A star-ish join where bushy DP may pair independent branches."""
+    from repro.engine.cost import CardinalityEstimator
+    from repro.engine.database import Database
+    from repro.relational.builder import build_plan
+    from repro.relational.schema import Field, Schema
+    from repro.sql.parser import parse_statement
+    from repro.sql.types import INTEGER
+
+    db = Database("D")
+    for name in ("a", "b", "c", "d"):
+        db.create_table(
+            name,
+            Schema([Field("k", INTEGER), Field(f"x_{name}", INTEGER)]),
+            [(i, i) for i in range(20)],
+        )
+    sql = (
+        "SELECT a.k AS ak FROM a, b, c, d "
+        "WHERE a.k = b.k AND b.k = c.k AND c.k = d.k"
+    )
+    plan = push_filters(build_plan(parse_statement(sql), db.catalog))
+    estimator = CardinalityEstimator(db.planner.scan_stats)
+    bushy = reorder_joins(
+        plan, estimator.estimate_rows, estimator.estimate_ndv, shape="bushy"
+    )
+    left_deep = reorder_joins(
+        plan,
+        estimator.estimate_rows,
+        estimator.estimate_ndv,
+        shape="left-deep",
+    )
+    # Both shapes produce correct results.
+    baseline = db.execute(sql)
+    for candidate in (bushy, left_deep):
+        physical = db.planner.to_physical(candidate)
+        assert_same_rows(list(physical.rows()), baseline.rows)
+
+
+def test_left_deep_trees_are_left_deep(tpch_tiny):
+    """The default shape honors the paper's left-deep restriction:
+    no join ever has another join as its right child."""
+    deployment, _ = tpch_tiny
+    xdb = XDB(deployment)
+    xdb.warm_metadata()
+    from repro.sql.parser import parse_statement
+
+    plan = xdb.optimizer.optimize(parse_statement(query("Q8")))
+
+    def walk(node):
+        if isinstance(node, algebra.Join):
+            right = node.right
+            while isinstance(right, (algebra.Filter, algebra.Project)):
+                right = right.children()[0]
+            assert not isinstance(right, algebra.Join)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+
+
+# -- pipelining ablation --------------------------------------------------------------------
+
+
+def test_unpipelined_schedule_never_faster(tpch_tiny):
+    deployment, _ = tpch_tiny
+    xdb = XDB(deployment)
+    report = xdb.submit(query("Q5"), cleanup=False)
+    try:
+        frozen = simulate_schedule(
+            report.deployed,
+            xdb.connectors,
+            deployment.network,
+            deployment.client_node,
+            result_bytes=report.result.byte_size(),
+            pipelined=False,
+        )
+        assert (
+            frozen.execution_seconds
+            >= report.schedule.execution_seconds - 1e-9
+        )
+    finally:
+        report.deployed.cleanup()

@@ -1,0 +1,301 @@
+"""Shared logical rewrites: pushdown, pruning, join reordering."""
+
+import pytest
+
+from repro.engine.cost import CardinalityEstimator
+from repro.engine.database import Database
+from repro.relational import algebra
+from repro.relational.builder import build_plan
+from repro.relational.optimizer import (
+    collect_join_region,
+    prune_columns,
+    push_filters,
+    reorder_joins,
+)
+from repro.relational.schema import Field, Schema
+from repro.sql.parser import parse_statement
+from repro.sql.types import DOUBLE, INTEGER, varchar
+
+from conftest import assert_same_rows
+
+
+@pytest.fixture
+def db():
+    database = Database("D")
+    database.create_table(
+        "big",
+        Schema(
+            [Field("k", INTEGER), Field("g", INTEGER), Field("v", DOUBLE)]
+        ),
+        [(i, i % 10, float(i)) for i in range(500)],
+    )
+    database.create_table(
+        "mid",
+        Schema([Field("k", INTEGER), Field("m", INTEGER)]),
+        [(i * 2, i % 7) for i in range(100)],
+    )
+    database.create_table(
+        "small",
+        Schema([Field("m", INTEGER), Field("name", varchar(8))]),
+        [(i, f"n{i}") for i in range(7)],
+    )
+    return database
+
+
+def plan_of(db, sql):
+    return build_plan(parse_statement(sql), db.catalog)
+
+
+def scans_under_filters(plan):
+    """(filter predicate count directly above each scan)."""
+    out = []
+
+    def walk(node):
+        if isinstance(node, algebra.Filter) and isinstance(
+            node.child, algebra.Scan
+        ):
+            out.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return out
+
+
+# -- filter pushdown -------------------------------------------------------------
+
+
+def test_pushdown_moves_single_table_predicates_to_scans(db):
+    plan = plan_of(
+        db,
+        "SELECT b.v FROM big b, mid m "
+        "WHERE b.k = m.k AND b.g > 5 AND m.m = 1",
+    )
+    pushed = push_filters(plan)
+    filters = scans_under_filters(pushed)
+    assert len(filters) == 2  # one per table
+
+
+def test_pushdown_turns_cross_join_into_inner(db):
+    plan = plan_of(
+        db, "SELECT b.v FROM big b, mid m WHERE b.k = m.k"
+    )
+    pushed = push_filters(plan)
+
+    def find_join(node):
+        if isinstance(node, algebra.Join):
+            return node
+        for child in node.children():
+            found = find_join(child)
+            if found:
+                return found
+        return None
+
+    join = find_join(pushed)
+    assert join.kind == "INNER"
+    assert join.condition is not None
+
+
+def test_pushdown_preserves_results(db):
+    sql = (
+        "SELECT b.g, COUNT(*) AS n FROM big b, mid m, small s "
+        "WHERE b.k = m.k AND m.m = s.m AND b.v > 100 AND s.name <> 'n3' "
+        "GROUP BY b.g"
+    )
+    baseline = db.execute(sql)
+    plan = push_filters(plan_of(db, sql))
+    physical = db.planner.to_physical(plan)
+    assert_same_rows(list(physical.rows()), baseline.rows)
+
+
+def test_pushdown_does_not_cross_limit(db):
+    plan = plan_of(
+        db,
+        "SELECT q.v FROM (SELECT v FROM big LIMIT 5) AS q WHERE q.v > 1",
+    )
+    pushed = push_filters(plan)
+
+    # The filter must remain above the Limit.
+    def check(node, filter_seen_above_limit=False):
+        if isinstance(node, algebra.Limit):
+            for scan_filter in scans_under_filters(node):
+                raise AssertionError("filter crossed a LIMIT")
+        for child in node.children():
+            check(child)
+
+    check(pushed)
+    physical = db.planner.to_physical(pushed)
+    rows = list(physical.rows())
+    assert all(row[0] > 1 for row in rows)
+
+
+def test_pushdown_left_join_keeps_right_filter_above(db):
+    sql = (
+        "SELECT b.k, m.m FROM big b LEFT JOIN mid m ON b.k = m.k "
+        "WHERE m.m = 1"
+    )
+    baseline = db.execute(sql)
+    pushed = push_filters(plan_of(db, sql))
+    physical = db.planner.to_physical(pushed)
+    assert_same_rows(list(physical.rows()), baseline.rows)
+
+
+# -- projection pruning ------------------------------------------------------------
+
+
+def test_prune_inserts_narrow_projects_over_scans(db):
+    plan = push_filters(
+        plan_of(
+            db,
+            "SELECT b.v FROM big b, mid m WHERE b.k = m.k",
+        )
+    )
+    pruned = prune_columns(plan)
+    scans = pruned.leaves()
+    for scan in scans:
+        # every scan feeds a narrowing projection
+        parents = _parents_of(pruned, scan)
+        assert any(isinstance(p, algebra.Project) for p in parents)
+
+
+def test_prune_keeps_join_keys(db):
+    sql = "SELECT b.v FROM big b, mid m WHERE b.k = m.k"
+    plan = prune_columns(push_filters(plan_of(db, sql)))
+    physical = db.planner.to_physical(plan)
+    baseline = db.execute(sql)
+    assert_same_rows(list(physical.rows()), baseline.rows)
+
+
+def test_prune_preserves_aggregate_inputs(db):
+    sql = (
+        "SELECT b.g, SUM(b.v) AS s FROM big b, mid m "
+        "WHERE b.k = m.k GROUP BY b.g"
+    )
+    plan = prune_columns(push_filters(plan_of(db, sql)))
+    physical = db.planner.to_physical(plan)
+    baseline = db.execute(sql)
+    assert_same_rows(list(physical.rows()), baseline.rows)
+
+
+def _parents_of(root, target):
+    parents = []
+
+    def walk(node):
+        for child in node.children():
+            if child is target:
+                parents.append(node)
+            walk(child)
+
+    walk(root)
+    return parents
+
+
+# -- join reordering -----------------------------------------------------------------
+
+
+def _estimator(db):
+    return CardinalityEstimator(db.planner.scan_stats)
+
+
+def test_collect_join_region_units_and_edges(db):
+    plan = push_filters(
+        plan_of(
+            db,
+            "SELECT b.v FROM big b, mid m, small s "
+            "WHERE b.k = m.k AND m.m = s.m",
+        )
+    )
+
+    def find_join(node):
+        if isinstance(node, algebra.Join):
+            return node
+        for child in node.children():
+            found = find_join(child)
+            if found is not None:
+                return found
+        return None
+
+    region, leftover = collect_join_region(find_join(plan))
+    assert len(region.units) == 3
+    assert len(region.equi_edges) == 2
+    assert not leftover
+
+
+def test_reorder_starts_from_selective_unit(db):
+    plan = push_filters(
+        plan_of(
+            db,
+            "SELECT b.v FROM big b, mid m, small s "
+            "WHERE b.k = m.k AND m.m = s.m AND s.name = 'n3'",
+        )
+    )
+    estimator = _estimator(db)
+    ordered = reorder_joins(
+        plan, estimator.estimate_rows, estimator.estimate_ndv
+    )
+    # The big table joins last: the selective small⋈mid pair goes first
+    # (ties between equal-cost prefixes may order mid/small either way).
+    scans = ordered.leaves()
+    assert scans[-1].table == "big"
+    assert {scans[0].table, scans[1].table} == {"mid", "small"}
+
+
+def test_reorder_preserves_results(db):
+    sql = (
+        "SELECT b.g, COUNT(*) AS n FROM big b, mid m, small s "
+        "WHERE b.k = m.k AND m.m = s.m GROUP BY b.g"
+    )
+    baseline = db.execute(sql)
+    estimator = _estimator(db)
+    plan = reorder_joins(
+        push_filters(plan_of(db, sql)),
+        estimator.estimate_rows,
+        estimator.estimate_ndv,
+    )
+    physical = db.planner.to_physical(plan)
+    assert_same_rows(list(physical.rows()), baseline.rows)
+
+
+def test_reorder_handles_cross_product_when_unavoidable(db):
+    sql = "SELECT COUNT(*) AS n FROM mid m, small s"
+    baseline = db.execute(sql)
+    estimator = _estimator(db)
+    plan = reorder_joins(
+        push_filters(plan_of(db, sql)),
+        estimator.estimate_rows,
+        estimator.estimate_ndv,
+    )
+    physical = db.planner.to_physical(plan)
+    assert list(physical.rows()) == baseline.rows
+
+
+def test_reorder_attaches_complex_predicate_once_covered(db):
+    sql = (
+        "SELECT COUNT(*) AS n FROM big b, mid m "
+        "WHERE b.k = m.k AND b.g + m.m > 3"
+    )
+    baseline = db.execute(sql)
+    estimator = _estimator(db)
+    plan = reorder_joins(
+        push_filters(plan_of(db, sql)),
+        estimator.estimate_rows,
+        estimator.estimate_ndv,
+    )
+    physical = db.planner.to_physical(plan)
+    assert list(physical.rows()) == baseline.rows
+
+
+def test_self_join_with_aliases_reorders_safely(db):
+    sql = (
+        "SELECT COUNT(*) AS n FROM mid m1, mid m2 "
+        "WHERE m1.k = m2.k AND m1.m > 2"
+    )
+    baseline = db.execute(sql)
+    estimator = _estimator(db)
+    plan = reorder_joins(
+        push_filters(plan_of(db, sql)),
+        estimator.estimate_rows,
+        estimator.estimate_ndv,
+    )
+    physical = db.planner.to_physical(plan)
+    assert list(physical.rows()) == baseline.rows

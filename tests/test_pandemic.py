@@ -1,0 +1,68 @@
+"""Motivating-scenario tests (§II-A)."""
+
+import pytest
+
+from repro.core.client import XDB
+from repro.workloads.pandemic import (
+    CHO_QUERY,
+    PANDEMIC_SCHEMAS,
+    build_pandemic_deployment,
+)
+
+from conftest import assert_same_rows, ground_truth_database
+
+
+def test_table_i_schemas():
+    assert set(PANDEMIC_SCHEMAS) == {"CDB", "VDB", "HDB"}
+    assert PANDEMIC_SCHEMAS["VDB"]["Vaccination"].names == [
+        "c_id",
+        "v_id",
+        "date",
+    ]
+
+
+def test_deployment_hosts_tables_per_table_i():
+    deployment = build_pandemic_deployment(
+        citizens=50, vaccinations=60, measurements=70
+    )
+    assert deployment.database("CDB").catalog.names() == ["Citizen"]
+    assert deployment.database("VDB").catalog.names() == [
+        "Vaccination",
+        "Vaccines",
+    ]
+    assert deployment.database("HDB").catalog.names() == ["Measurements"]
+
+
+def test_cho_query_answers(tpch_tiny=None):
+    deployment = build_pandemic_deployment(
+        citizens=250, vaccinations=400, measurements=500, seed=77
+    )
+    report = XDB(deployment).submit(CHO_QUERY)
+    assert report.result.column_names == ["type", "avg_u_ml", "age_group"]
+    groups = {row[2] for row in report.result.rows}
+    assert groups <= {"20-30", "30-40", "40-50", "50-60", "60+"}
+    truth = ground_truth_database(deployment).execute(
+        CHO_QUERY.replace("CDB.", "").replace("VDB.", "").replace("HDB.", "")
+    )
+    assert_same_rows(report.result.rows, truth.rows)
+
+
+def test_determinism_by_seed():
+    one = build_pandemic_deployment(citizens=50, seed=9)
+    two = build_pandemic_deployment(citizens=50, seed=9)
+    rows_one = one.database("CDB").catalog.get("Citizen").rows
+    rows_two = two.database("CDB").catalog.get("Citizen").rows
+    assert rows_one == rows_two
+
+
+def test_vendor_profiles_applied():
+    deployment = build_pandemic_deployment(
+        citizens=30, profiles={"VDB": "mariadb"}
+    )
+    assert deployment.database("VDB").profile.name == "mariadb"
+    assert deployment.database("CDB").profile.name == "postgres"
+
+
+def test_geo_topology_option():
+    deployment = build_pandemic_deployment(citizens=30, topology="geo")
+    assert deployment.network.is_cross_site("CDB", "VDB")

@@ -1,0 +1,93 @@
+"""Schema and field tests."""
+
+import pytest
+
+from repro.errors import BindError, CatalogError
+from repro.relational.schema import Field, Schema
+from repro.sql.types import DOUBLE, INTEGER, varchar
+
+
+def make_schema():
+    return Schema(
+        [
+            Field("id", INTEGER, "t"),
+            Field("name", varchar(10), "t"),
+            Field("id", INTEGER, "s"),
+            Field("score", DOUBLE, "s"),
+        ]
+    )
+
+
+def test_resolution_by_qualified_name():
+    schema = make_schema()
+    assert schema.resolve("id", "t") == 0
+    assert schema.resolve("id", "s") == 2
+
+
+def test_resolution_case_insensitive():
+    schema = make_schema()
+    assert schema.resolve("ID", "T") == 0
+    assert schema.resolve("Name") == 1
+
+
+def test_unqualified_ambiguity_raises():
+    with pytest.raises(BindError, match="ambiguous"):
+        make_schema().resolve("id")
+
+
+def test_unknown_column_raises():
+    with pytest.raises(BindError, match="unknown"):
+        make_schema().resolve("nope")
+
+
+def test_duplicate_fields_rejected():
+    with pytest.raises(CatalogError):
+        Schema([Field("x", INTEGER, "t"), Field("X", INTEGER, "t")])
+
+
+def test_same_name_different_relations_allowed():
+    Schema([Field("x", INTEGER, "a"), Field("x", INTEGER, "b")])
+
+
+def test_concat_and_relations():
+    left = Schema([Field("a", INTEGER, "l")])
+    right = Schema([Field("b", INTEGER, "r")])
+    joined = left.concat(right)
+    assert joined.names == ["a", "b"]
+    assert joined.relations() == ["l", "r"]
+
+
+def test_fields_of_relation():
+    schema = make_schema()
+    assert [f.name for f in schema.fields_of_relation("s")] == [
+        "id",
+        "score",
+    ]
+
+
+def test_row_width():
+    schema = make_schema()
+    assert schema.row_width() == 4 + 10 + 4 + 8
+
+
+def test_requalified_and_unqualified():
+    schema = Schema([Field("a", INTEGER, "x"), Field("b", INTEGER, "x")])
+    re = schema.requalified("y")
+    assert all(f.relation == "y" for f in re)
+    un = schema.unqualified()
+    assert all(f.relation is None for f in un)
+
+
+def test_field_helpers():
+    field = Field("a", INTEGER, "t")
+    assert field.qualified_name == "t.a"
+    assert field.renamed("b").name == "b"
+    assert field.requalified(None).relation is None
+
+
+def test_equality_and_iteration():
+    one, two = make_schema(), make_schema()
+    assert one == two
+    assert len(one) == 4
+    assert [f.name for f in one] == ["id", "name", "id", "score"]
+    assert one[3].name == "score"

@@ -1,0 +1,80 @@
+"""Vendor dialect tests: quoting + foreign-table DDL surfaces."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql import ast
+from repro.sql.dialects import available_dialects, dialect_for
+from repro.sql.parser import parse_statement
+from repro.sql.render import render
+from repro.sql.types import INTEGER, varchar
+
+FT = ast.CreateForeignTable(
+    name="remote_orders",
+    columns=(
+        ast.ColumnDef("o_orderkey", INTEGER),
+        ast.ColumnDef("o_comment", varchar(40)),
+    ),
+    server="db2",
+    remote_object="orders_view",
+)
+
+
+def test_available_dialects():
+    assert available_dialects() == ["hive", "mariadb", "postgres"]
+
+
+def test_unknown_dialect():
+    with pytest.raises(SQLError):
+        dialect_for("oracle")
+
+
+def test_postgres_foreign_table_surface():
+    text = render(FT, dialect_for("postgres"))
+    assert "CREATE FOREIGN TABLE" in text
+    assert "SERVER db2" in text
+    assert "table_name 'orders_view'" in text
+
+
+def test_mariadb_federated_surface():
+    text = render(FT, dialect_for("mariadb"))
+    assert "ENGINE=FEDERATED" in text
+    assert "CONNECTION='db2/orders_view'" in text
+
+
+def test_hive_external_table_surface():
+    text = render(FT, dialect_for("hive"))
+    assert "CREATE EXTERNAL TABLE" in text
+    assert "STORED BY 'db2'" in text
+
+
+@pytest.mark.parametrize("dialect", ["postgres", "mariadb", "hive"])
+def test_every_surface_parses_back_to_same_semantics(dialect):
+    text = render(FT, dialect_for(dialect))
+    parsed = parse_statement(text)
+    assert isinstance(parsed, ast.CreateForeignTable)
+    assert parsed.server == "db2"
+    assert parsed.remote_object == "orders_view"
+    assert [c.name for c in parsed.columns] == ["o_orderkey", "o_comment"]
+
+
+def test_identifier_quote_characters():
+    weird = ast.ColumnRef("weird name")
+    assert render(weird, dialect_for("postgres")) == '"weird name"'
+    assert render(weird, dialect_for("mariadb")) == "`weird name`"
+    assert render(weird, dialect_for("hive")) == "`weird name`"
+
+
+def test_drop_foreign_table_per_dialect():
+    drop = ast.DropObject("FOREIGN TABLE", "ft", if_exists=True)
+    assert "DROP FOREIGN TABLE IF EXISTS" in render(
+        drop, dialect_for("postgres")
+    )
+    assert "DROP TABLE IF EXISTS" in render(drop, dialect_for("mariadb"))
+    assert "DROP EXTERNAL TABLE IF EXISTS" in render(
+        drop, dialect_for("hive")
+    )
+
+
+def test_dialect_instances_are_shared():
+    assert dialect_for("postgres") is dialect_for("postgres")

@@ -1,0 +1,104 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_are_uppercased():
+    tokens = tokenize("select Select SELECT")
+    assert all(t.value == "SELECT" for t in tokens[:-1])
+    assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+
+def test_identifiers_preserve_case():
+    assert values("FooBar") == ["FooBar"]
+    assert kinds("FooBar")[0] is TokenKind.IDENTIFIER
+
+
+def test_integer_and_float_literals():
+    tokens = tokenize("42 3.14 1e3 2.5E-2")
+    assert [t.value for t in tokens[:-1]] == [42, 3.14, 1000.0, 0.025]
+    assert tokens[0].kind is TokenKind.INTEGER
+    assert tokens[1].kind is TokenKind.FLOAT
+
+
+def test_number_followed_by_dot_method_is_not_float():
+    # "1." without digits should lex as INTEGER then PUNCTUATION.
+    tokens = tokenize("1.x")
+    assert tokens[0].kind is TokenKind.INTEGER
+    assert tokens[1].value == "."
+
+
+def test_string_literal_with_escaped_quote():
+    assert values("'don''t'") == ["don't"]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexerError):
+        tokenize("'oops")
+
+
+def test_double_quoted_identifier():
+    tokens = tokenize('"weird name"')
+    assert tokens[0].kind is TokenKind.QUOTED_IDENTIFIER
+    assert tokens[0].value == "weird name"
+
+
+def test_backtick_identifier_mariadb_style():
+    tokens = tokenize("`weird``name`")
+    assert tokens[0].kind is TokenKind.QUOTED_IDENTIFIER
+    assert tokens[0].value == "weird`name"
+
+
+def test_multichar_operators_lex_greedily():
+    assert values("a <> b >= c <= d != e || f") == [
+        "a", "<>", "b", ">=", "c", "<=", "d", "!=", "e", "||", "f",
+    ]
+
+
+def test_line_comment_is_skipped():
+    assert values("1 -- comment\n2") == [1, 2]
+
+
+def test_block_comment_is_skipped():
+    assert values("1 /* multi\nline */ 2") == [1, 2]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError):
+        tokenize("1 /* never ends")
+
+
+def test_invalid_character_raises_with_position():
+    with pytest.raises(LexerError) as excinfo:
+        tokenize("select #")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_date_keyword_then_string():
+    tokens = tokenize("DATE '2024-01-01'")
+    assert tokens[0].kind is TokenKind.KEYWORD
+    assert tokens[1].kind is TokenKind.STRING

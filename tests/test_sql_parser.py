@@ -1,0 +1,308 @@
+"""Parser unit tests: statements, expressions, precedence, errors."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_statement
+
+
+# -- expressions ------------------------------------------------------------
+
+
+def test_precedence_arithmetic_over_comparison():
+    expr = parse_expression("a + b * 2 = c")
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "="
+    left = expr.left
+    assert isinstance(left, ast.BinaryOp) and left.op == "+"
+    assert isinstance(left.right, ast.BinaryOp) and left.right.op == "*"
+
+
+def test_precedence_and_over_or():
+    expr = parse_expression("a OR b AND c")
+    assert expr.op == "OR"
+    assert isinstance(expr.right, ast.BinaryOp) and expr.right.op == "AND"
+
+
+def test_left_associativity_of_subtraction():
+    expr = parse_expression("a - b - c")
+    assert expr.op == "-"
+    assert isinstance(expr.left, ast.BinaryOp)
+    assert isinstance(expr.left.left, ast.ColumnRef)
+    assert expr.left.left.name == "a"
+
+
+def test_not_binds_tighter_than_and():
+    expr = parse_expression("NOT a AND b")
+    assert expr.op == "AND"
+    assert isinstance(expr.left, ast.UnaryOp) and expr.left.op == "NOT"
+
+
+def test_not_folds_into_predicates():
+    expr = parse_expression("NOT x LIKE 'a%'")
+    assert isinstance(expr, ast.Like) and expr.negated
+
+
+def test_between_and_binding():
+    expr = parse_expression("x BETWEEN 1 AND 2 AND y = 3")
+    assert isinstance(expr, ast.BinaryOp) and expr.op == "AND"
+    assert isinstance(expr.left, ast.Between)
+
+
+def test_in_list_and_negation():
+    expr = parse_expression("x NOT IN (1, 2, 3)")
+    assert isinstance(expr, ast.InList) and expr.negated
+    assert len(expr.items) == 3
+
+
+def test_is_null_and_is_not_null():
+    assert parse_expression("x IS NULL") == ast.IsNull(ast.ColumnRef("x"))
+    assert parse_expression("x IS NOT NULL") == ast.IsNull(
+        ast.ColumnRef("x"), negated=True
+    )
+
+
+def test_date_literal():
+    expr = parse_expression("DATE '2021-06-15'")
+    assert expr == ast.Literal(datetime.date(2021, 6, 15))
+
+
+def test_bad_date_literal_raises():
+    with pytest.raises(ParseError):
+        parse_expression("DATE 'not-a-date'")
+
+
+def test_interval_literal():
+    expr = parse_expression("d + INTERVAL '3' MONTH")
+    assert isinstance(expr.right, ast.IntervalLiteral)
+    assert expr.right.amount == 3 and expr.right.unit == "MONTH"
+
+
+def test_interval_plural_unit_normalized():
+    expr = parse_expression("d - INTERVAL '2' DAYS")
+    assert expr.right.unit == "DAY"
+
+
+def test_case_when():
+    expr = parse_expression(
+        "CASE WHEN a = 1 THEN 'x' WHEN a = 2 THEN 'y' ELSE 'z' END"
+    )
+    assert isinstance(expr, ast.CaseWhen)
+    assert len(expr.whens) == 2
+    assert expr.else_result == ast.Literal("z")
+
+
+def test_case_without_when_raises():
+    with pytest.raises(ParseError):
+        parse_expression("CASE ELSE 1 END")
+
+
+def test_extract():
+    expr = parse_expression("EXTRACT(YEAR FROM d)")
+    assert expr == ast.Extract("YEAR", ast.ColumnRef("d"))
+
+
+def test_extract_bad_field_raises():
+    with pytest.raises(ParseError):
+        parse_expression("EXTRACT(CENTURY FROM d)")
+
+
+def test_cast():
+    expr = parse_expression("CAST(x AS VARCHAR(10))")
+    assert isinstance(expr, ast.Cast)
+    assert expr.target.length == 10
+
+
+def test_aggregate_calls():
+    assert parse_expression("COUNT(*)") == ast.FunctionCall(
+        "COUNT", (ast.Star(),)
+    )
+    distinct = parse_expression("COUNT(DISTINCT x)")
+    assert distinct.distinct
+
+
+def test_qualified_column():
+    assert parse_expression("t.col") == ast.ColumnRef("col", "t")
+
+
+def test_unary_minus_and_plus():
+    assert parse_expression("-x") == ast.UnaryOp("-", ast.ColumnRef("x"))
+    assert parse_expression("+x") == ast.ColumnRef("x")
+
+
+def test_string_concat_operator():
+    expr = parse_expression("a || b || c")
+    assert expr.op == "||"
+
+
+# -- SELECT -------------------------------------------------------------------
+
+
+def test_select_minimal():
+    stmt = parse_statement("SELECT a FROM t")
+    assert isinstance(stmt, ast.Select)
+    assert stmt.items[0].expr == ast.ColumnRef("a")
+    assert stmt.from_items[0] == ast.TableRef(("t",))
+
+
+def test_select_star_and_qualified_star():
+    stmt = parse_statement("SELECT *, t.* FROM t")
+    assert stmt.items[0].expr == ast.Star()
+    assert stmt.items[1].expr == ast.Star("t")
+
+
+def test_alias_forms():
+    stmt = parse_statement("SELECT a AS x, b y, c AS 'z' FROM t")
+    assert [i.alias for i in stmt.items] == ["x", "y", "z"]
+
+
+def test_table_alias_with_and_without_as():
+    stmt = parse_statement("SELECT 1 AS one FROM t1 AS a, t2 b")
+    assert stmt.from_items[0].alias == "a"
+    assert stmt.from_items[1].alias == "b"
+
+
+def test_qualified_table_name():
+    stmt = parse_statement("SELECT x AS c FROM CDB.Citizen")
+    assert stmt.from_items[0].parts == ("CDB", "Citizen")
+
+
+def test_explicit_joins():
+    stmt = parse_statement(
+        "SELECT 1 AS one FROM a JOIN b ON a.k = b.k "
+        "LEFT JOIN c ON b.x = c.x CROSS JOIN d"
+    )
+    join = stmt.from_items[0]
+    assert isinstance(join, ast.Join) and join.kind == "CROSS"
+    assert join.left.kind == "LEFT"
+    assert join.left.left.kind == "INNER"
+
+
+def test_derived_table():
+    stmt = parse_statement(
+        "SELECT s.x FROM (SELECT a AS x FROM t) AS s"
+    )
+    derived = stmt.from_items[0]
+    assert isinstance(derived, ast.DerivedTable)
+    assert derived.alias == "s"
+
+
+def test_group_by_having_order_limit():
+    stmt = parse_statement(
+        "SELECT k, COUNT(*) AS n FROM t GROUP BY k HAVING COUNT(*) > 1 "
+        "ORDER BY n DESC, k LIMIT 5"
+    )
+    assert len(stmt.group_by) == 1
+    assert stmt.having is not None
+    assert stmt.order_by[0].ascending is False
+    assert stmt.order_by[1].ascending is True
+    assert stmt.limit == 5
+
+
+def test_select_distinct():
+    assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+
+def test_where_clause():
+    stmt = parse_statement("SELECT a FROM t WHERE a > 1 AND b < 2")
+    assert stmt.where.op == "AND"
+
+
+def test_trailing_semicolon_allowed():
+    parse_statement("SELECT a FROM t;")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT a FROM t 123")
+
+
+# -- DDL ----------------------------------------------------------------------
+
+
+def test_create_view():
+    stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+    assert isinstance(stmt, ast.CreateView)
+    assert not stmt.or_replace
+
+
+def test_create_or_replace_view():
+    stmt = parse_statement("CREATE OR REPLACE VIEW v AS SELECT a FROM t")
+    assert stmt.or_replace
+
+
+def test_create_foreign_table_postgres():
+    stmt = parse_statement(
+        "CREATE FOREIGN TABLE ft (a INT, b VARCHAR(5)) SERVER remote "
+        "OPTIONS (table_name 'obj')"
+    )
+    assert isinstance(stmt, ast.CreateForeignTable)
+    assert stmt.server == "remote"
+    assert stmt.remote_object == "obj"
+    assert stmt.syntax == "postgres"
+
+
+def test_create_federated_table_mariadb():
+    stmt = parse_statement(
+        "CREATE TABLE ft (a INT) ENGINE=FEDERATED CONNECTION='srv/obj'"
+    )
+    assert isinstance(stmt, ast.CreateForeignTable)
+    assert (stmt.server, stmt.remote_object) == ("srv", "obj")
+    assert stmt.syntax == "mariadb"
+
+
+def test_create_external_table_hive():
+    stmt = parse_statement(
+        "CREATE EXTERNAL TABLE ft (a INT) STORED BY 'srv' "
+        "OPTIONS (table_name 'obj')"
+    )
+    assert isinstance(stmt, ast.CreateForeignTable)
+    assert stmt.syntax == "hive"
+
+
+def test_bad_federated_connection_string():
+    with pytest.raises(ParseError):
+        parse_statement(
+            "CREATE TABLE ft (a INT) ENGINE=FEDERATED CONNECTION='nope'"
+        )
+
+
+def test_create_table_and_temporary():
+    stmt = parse_statement("CREATE TEMPORARY TABLE t (a INT, b DATE)")
+    assert isinstance(stmt, ast.CreateTable) and stmt.temporary
+    assert stmt.columns[1].type.kind.value == "date"
+
+
+def test_create_table_as():
+    stmt = parse_statement("CREATE TABLE t AS SELECT a FROM s")
+    assert isinstance(stmt, ast.CreateTableAs)
+
+
+def test_drop_variants():
+    assert parse_statement("DROP TABLE t").kind == "TABLE"
+    assert parse_statement("DROP VIEW v").kind == "VIEW"
+    assert parse_statement("DROP FOREIGN TABLE f").kind == "FOREIGN TABLE"
+    assert parse_statement("DROP EXTERNAL TABLE f").kind == "FOREIGN TABLE"
+    assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+
+def test_insert_values():
+    stmt = parse_statement(
+        "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+    )
+    assert isinstance(stmt, ast.Insert)
+    assert stmt.columns == ("a", "b")
+    assert len(stmt.rows) == 2
+
+
+def test_explain():
+    stmt = parse_statement("EXPLAIN SELECT a FROM t")
+    assert isinstance(stmt, ast.Explain)
+
+
+def test_error_reports_location():
+    with pytest.raises(ParseError) as excinfo:
+        parse_statement("SELECT FROM t")
+    assert "line 1" in str(excinfo.value)

@@ -1,0 +1,81 @@
+"""SQL type system tests."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.sql import types as t
+
+
+def test_type_from_name_aliases():
+    assert t.type_from_name("INT") == t.INTEGER
+    assert t.type_from_name("int4") == t.INTEGER
+    assert t.type_from_name("TEXT").kind is t.TypeKind.VARCHAR
+    assert t.type_from_name("NUMERIC", 10, 2) == t.decimal(10, 2)
+    assert t.type_from_name("varchar", 25).length == 25
+
+
+def test_type_from_unknown_name():
+    with pytest.raises(TypeCheckError):
+        t.type_from_name("blob")
+
+
+def test_str_rendering():
+    assert str(t.varchar(25)) == "VARCHAR(25)"
+    assert str(t.decimal(10, 2)) == "DECIMAL(10,2)"
+    assert str(t.DATE) == "DATE"
+
+
+def test_byte_widths():
+    assert t.INTEGER.byte_width() == 4
+    assert t.BIGINT.byte_width() == 8
+    assert t.varchar(25).byte_width() == 25
+    assert t.varchar().byte_width() == 32  # default text width
+    assert t.DATE.byte_width() == 4
+
+
+def test_type_of_value():
+    assert t.type_of_value(5) == t.INTEGER
+    assert t.type_of_value(5_000_000_000) == t.BIGINT
+    assert t.type_of_value(1.5) == t.DOUBLE
+    assert t.type_of_value(True) == t.BOOLEAN
+    assert t.type_of_value(None) == t.NULL
+    assert t.type_of_value(datetime.date(2020, 1, 1)) == t.DATE
+    assert t.type_of_value("abc").kind is t.TypeKind.VARCHAR
+
+
+def test_type_of_value_rejects_unknown():
+    with pytest.raises(TypeCheckError):
+        t.type_of_value(object())
+
+
+def test_common_supertype_numeric_widening():
+    assert t.common_supertype(t.INTEGER, t.DOUBLE) == t.DOUBLE
+    assert t.common_supertype(t.INTEGER, t.BIGINT) == t.BIGINT
+    assert (
+        t.common_supertype(t.decimal(10, 2), t.INTEGER).kind
+        is t.TypeKind.DECIMAL
+    )
+
+
+def test_common_supertype_null_is_identity():
+    assert t.common_supertype(t.NULL, t.DATE) == t.DATE
+    assert t.common_supertype(t.varchar(5), t.NULL) == t.varchar(5)
+
+
+def test_common_supertype_text_takes_max_length():
+    merged = t.common_supertype(t.varchar(5), t.char(9))
+    assert merged.kind is t.TypeKind.VARCHAR
+    assert merged.length == 9
+
+
+def test_common_supertype_incompatible():
+    with pytest.raises(TypeCheckError):
+        t.common_supertype(t.DATE, t.INTEGER)
+
+
+def test_comparable():
+    assert t.comparable(t.INTEGER, t.DOUBLE)
+    assert t.comparable(t.DATE, t.DATE)
+    assert not t.comparable(t.DATE, t.varchar(4))

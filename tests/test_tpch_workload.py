@@ -1,0 +1,172 @@
+"""TPC-H generator / queries / distributions tests."""
+
+import datetime
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.tpch import (
+    QUERIES,
+    QUERY_JOIN_COUNTS,
+    TABLE_DISTRIBUTIONS,
+    TABLE_NAMES,
+    TPCH_SCHEMAS,
+    databases_for,
+    generate,
+    query,
+)
+from repro.workloads.tpch.distributions import distribution
+from repro.workloads.tpch.generator import (
+    NATIONS,
+    REGIONS,
+    generate_cached,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate(0.001, seed=7)
+
+
+def test_all_tables_generated(data):
+    assert set(data.tables) == set(TABLE_NAMES)
+
+
+def test_row_counts_scale_linearly():
+    small = generate(0.001, seed=7)
+    large = generate(0.002, seed=7)
+    assert large.row_counts()["customer"] == pytest.approx(
+        2 * small.row_counts()["customer"], rel=0.01
+    )
+    assert large.row_counts()["orders"] == pytest.approx(
+        2 * small.row_counts()["orders"], rel=0.01
+    )
+
+
+def test_fixed_tables(data):
+    assert len(data.rows_of("region")) == len(REGIONS)
+    assert len(data.rows_of("nation")) == len(NATIONS)
+
+
+def test_rows_match_schema_arity(data):
+    for name in TABLE_NAMES:
+        schema = data.schema_of(name)
+        for row in data.rows_of(name)[:50]:
+            assert len(row) == len(schema)
+
+
+def test_referential_integrity(data):
+    customers = {row[0] for row in data.rows_of("customer")}
+    for order in data.rows_of("orders"):
+        assert order[1] in customers
+    orders = {row[0] for row in data.rows_of("orders")}
+    parts = {row[0] for row in data.rows_of("part")}
+    suppliers = {row[0] for row in data.rows_of("supplier")}
+    for line in data.rows_of("lineitem")[:500]:
+        assert line[0] in orders
+        assert line[1] in parts
+        assert line[2] in suppliers
+    nation_count = len(NATIONS)
+    for customer in data.rows_of("customer"):
+        assert 0 <= customer[3] < nation_count
+
+
+def test_dates_within_spec_window(data):
+    for order in data.rows_of("orders"):
+        assert datetime.date(1992, 1, 1) <= order[4] <= datetime.date(
+            1998, 8, 2
+        )
+
+
+def test_query_constants_hit_generated_values(data):
+    segments = {row[6] for row in data.rows_of("customer")}
+    assert "BUILDING" in segments
+    region_names = {row[1] for row in data.rows_of("region")}
+    assert {"ASIA", "AMERICA"} <= region_names
+    nation_names = {row[1] for row in data.rows_of("nation")}
+    assert {"FRANCE", "GERMANY", "BRAZIL"} <= nation_names
+    types = {row[4] for row in data.rows_of("part")}
+    assert any(t == "ECONOMY ANODIZED STEEL" for t in types)
+    assert any("green" in row[1] for row in data.rows_of("part"))
+
+
+def test_determinism():
+    one = generate(0.001, seed=99)
+    two = generate(0.001, seed=99)
+    assert one.rows_of("lineitem") == two.rows_of("lineitem")
+
+
+def test_different_seeds_differ():
+    one = generate(0.001, seed=1)
+    two = generate(0.001, seed=2)
+    assert one.rows_of("lineitem") != two.rows_of("lineitem")
+
+
+def test_generate_cached_memoizes():
+    assert generate_cached(0.001, seed=5) is generate_cached(0.001, seed=5)
+
+
+def test_invalid_scale_factor():
+    with pytest.raises(WorkloadError):
+        generate(0)
+
+
+def test_schemas_cover_spec_columns():
+    assert len(TPCH_SCHEMAS["lineitem"]) == 16
+    assert len(TPCH_SCHEMAS["orders"]) == 9
+    assert len(TPCH_SCHEMAS["customer"]) == 8
+
+
+# -- queries -------------------------------------------------------------------
+
+
+def test_all_six_queries_present():
+    assert set(QUERIES) == {"Q3", "Q5", "Q7", "Q8", "Q9", "Q10"}
+
+
+def test_join_counts_documented():
+    assert QUERY_JOIN_COUNTS["Q8"] == 8
+    assert QUERY_JOIN_COUNTS["Q3"] == 3
+
+
+def test_query_lookup_case_insensitive():
+    assert query("q3") == QUERIES["Q3"]
+
+
+def test_query_lookup_unknown():
+    with pytest.raises(WorkloadError):
+        query("Q99")
+
+
+def test_queries_parse():
+    from repro.sql.parser import parse_statement
+
+    for sql in QUERIES.values():
+        parse_statement(sql)
+
+
+def test_queries_run_on_single_engine(tpch_tiny_ground_truth):
+    for name, sql in QUERIES.items():
+        result = tpch_tiny_ground_truth.execute(sql)
+        assert result.column_names, name
+
+
+# -- distributions ---------------------------------------------------------------
+
+
+def test_distribution_table_iii_shape():
+    td1 = distribution("TD1")
+    assert td1["lineitem"] == "db1"
+    assert td1["customer"] == td1["orders"] == "db2"
+    assert databases_for("TD1") == ["db1", "db2", "db3", "db4"]
+    assert databases_for("TD3") == [f"db{i}" for i in range(1, 8)]
+
+
+def test_every_distribution_covers_all_tables():
+    for name, placement in TABLE_DISTRIBUTIONS.items():
+        assert set(placement) == set(TABLE_NAMES), name
+
+
+def test_unknown_distribution():
+    with pytest.raises(WorkloadError):
+        distribution("TD9")

@@ -1,0 +1,116 @@
+"""XDB equivalence across all table distributions + edge-case queries."""
+
+import pytest
+
+from repro.bench.scenarios import build_tpch_deployment
+from repro.core.client import XDB
+from repro.federation.deployment import Deployment
+from repro.relational.schema import Field, Schema
+from repro.sql.types import INTEGER, varchar
+from repro.workloads.tpch import QUERIES, query
+
+from conftest import assert_same_rows, ground_truth_database
+
+
+@pytest.fixture(scope="module", params=["TD2", "TD3"])
+def tpch_other_td(request):
+    deployment, _ = build_tpch_deployment(request.param, 0.001)
+    xdb = XDB(deployment)
+    xdb.warm_metadata()
+    truth = ground_truth_database(deployment)
+    return xdb, truth
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_all_queries_all_distributions(tpch_other_td, name):
+    xdb, truth = tpch_other_td
+    report = xdb.submit(query(name))
+    expected = truth.execute(query(name))
+    assert_same_rows(report.result.rows, expected.rows)
+
+
+# -- cross-database LEFT JOIN ---------------------------------------------------
+
+
+def test_cross_database_left_join():
+    dep = Deployment({"A": "postgres", "B": "mariadb"})
+    dep.load_table(
+        "A",
+        "people",
+        Schema([Field("id", INTEGER), Field("name", varchar(8))]),
+        [(1, "ada"), (2, "alan"), (3, "edsger")],
+    )
+    dep.load_table(
+        "B",
+        "awards",
+        Schema([Field("person_id", INTEGER), Field("prize", varchar(8))]),
+        [(1, "turing"), (1, "lovelace"), (3, "dijkstra")],
+    )
+    sql = (
+        "SELECT p.name, a.prize FROM people p "
+        "LEFT JOIN awards a ON p.id = a.person_id"
+    )
+    report = XDB(dep).submit(sql)
+    truth = ground_truth_database(dep).execute(sql)
+    assert_same_rows(report.result.rows, truth.rows)
+    assert ("alan", None) in report.result.rows
+
+
+def test_cross_database_distinct_and_limit():
+    dep = Deployment({"A": "postgres", "B": "postgres"})
+    dep.load_table(
+        "A",
+        "l",
+        Schema([Field("k", INTEGER), Field("g", INTEGER)]),
+        [(i, i % 3) for i in range(40)],
+    )
+    dep.load_table(
+        "B",
+        "r",
+        Schema([Field("k", INTEGER)]),
+        [(i,) for i in range(0, 40, 2)],
+    )
+    sql = (
+        "SELECT DISTINCT l.g FROM l, r WHERE l.k = r.k "
+        "ORDER BY l.g LIMIT 2"
+    )
+    report = XDB(dep).submit(sql)
+    assert report.result.rows == [(0,), (1,)]
+
+
+def test_cross_database_derived_table():
+    dep = Deployment({"A": "postgres", "B": "postgres"})
+    dep.load_table(
+        "A",
+        "sales",
+        Schema([Field("region", varchar(4)), Field("amt", INTEGER)]),
+        [("eu", 10), ("eu", 20), ("us", 5)],
+    )
+    dep.load_table(
+        "B",
+        "targets",
+        Schema([Field("region", varchar(4)), Field("target", INTEGER)]),
+        [("eu", 25), ("us", 10)],
+    )
+    sql = (
+        "SELECT t.region, s.total, t.target FROM "
+        "(SELECT region, SUM(amt) AS total FROM sales GROUP BY region) AS s, "
+        "targets t WHERE s.region = t.region"
+    )
+    report = XDB(dep).submit(sql)
+    truth = ground_truth_database(dep).execute(sql)
+    assert_same_rows(report.result.rows, truth.rows)
+
+
+def test_single_table_remote_query_via_xdb():
+    dep = Deployment({"A": "postgres", "B": "postgres"})
+    dep.load_table(
+        "A",
+        "only",
+        Schema([Field("x", INTEGER)]),
+        [(i,) for i in range(5)],
+    )
+    report = XDB(dep).submit("SELECT SUM(x) AS s FROM only")
+    assert report.result.rows == [(10,)]
+    assert report.plan.task_count() == 1
+    assert not report.plan.edges
