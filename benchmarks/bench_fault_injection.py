@@ -1,0 +1,130 @@
+"""Fault-injection resilience benchmark.
+
+Runs the paper's TPC-H queries on TD1 while a seeded fault injector
+raises transient connector errors at rates {0%, 5%, 20%}.  With the
+retry/backoff layer enabled, every query must return the same answer
+as the fault-free run and leave no short-lived objects behind; the
+table reports the success rate, the mean number of retries per query,
+and the simulated runtime overhead relative to the fault-free row.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.scenarios import build_tpch_deployment
+from repro.connect.connector import RetryPolicy
+from repro.core.client import XDB
+from repro.errors import ReproError
+from repro.faults import FaultInjector, FaultPolicy
+from repro.workloads.tpch import QUERIES, query
+
+FAULT_RATES = [0.0, 0.05, 0.20]
+SEED = 1729
+SCALE_FACTOR = 0.001
+
+
+def run_rate_sweep():
+    names = sorted(QUERIES)
+    # Fault-free truth, computed on a pristine deployment.
+    deployment, _ = build_tpch_deployment("TD1", SCALE_FACTOR)
+    xdb = XDB(deployment)
+    xdb.warm_metadata()
+    truth = {name: xdb.submit(query(name)).result.sorted_rows() for name in names}
+
+    rows = []
+    baseline_seconds = None
+    for rate in FAULT_RATES:
+        # A fresh federation per rate: injected faults must not bleed
+        # into the next configuration's counters or fault schedule.
+        deployment, _ = build_tpch_deployment("TD1", SCALE_FACTOR)
+        for connector in deployment.connectors.values():
+            connector.retry_policy = RetryPolicy(max_attempts=10)
+        xdb = XDB(deployment)
+        xdb.warm_metadata()
+
+        injector = FaultInjector(
+            FaultPolicy(seed=SEED, transient_error_rate=rate)
+        ).install(deployment)
+        successes = 0
+        identical = 0
+        retries = 0
+        total_seconds = 0.0
+        leaked = 0
+        try:
+            for name in names:
+                before = {
+                    db: set(deployment.database(db).catalog.names())
+                    for db in deployment.database_names()
+                }
+                try:
+                    report = xdb.submit(query(name))
+                except ReproError:
+                    continue
+                successes += 1
+                if report.result.sorted_rows() == truth[name]:
+                    identical += 1
+                retries += report.resilience.retries
+                total_seconds += report.total_seconds
+                after = {
+                    db: set(deployment.database(db).catalog.names())
+                    for db in deployment.database_names()
+                }
+                leaked += sum(
+                    len(after[db] - before[db]) for db in before
+                )
+        finally:
+            injector.uninstall()
+
+        if rate == 0.0:
+            baseline_seconds = total_seconds
+        overhead = (
+            (total_seconds / baseline_seconds - 1.0)
+            if baseline_seconds
+            else 0.0
+        )
+        rows.append(
+            [
+                f"{rate:.0%}",
+                f"{successes}/{len(names)}",
+                f"{identical}/{len(names)}",
+                f"{retries / max(successes, 1):.2f}",
+                injector.injected_transients,
+                leaked,
+                round(total_seconds, 3),
+                f"{overhead:+.1%}",
+            ]
+        )
+    return rows
+
+
+def test_fault_injection_sweep(benchmark, results_sink):
+    rows = benchmark.pedantic(run_rate_sweep, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "fault_rate",
+            "success",
+            "identical",
+            "mean_retries",
+            "injected",
+            "leaked_objects",
+            "runtime_s",
+            "overhead",
+        ],
+        rows,
+    )
+    results_sink(
+        "fault_injection",
+        "Fault injection — TPC-H on TD1, seeded transient faults\n"
+        + table,
+    )
+
+    for row in rows:
+        # Every query succeeds, answers match the fault-free run, and
+        # no short-lived object survives.
+        assert row[1] == f"{len(QUERIES)}/{len(QUERIES)}"
+        assert row[2] == f"{len(QUERIES)}/{len(QUERIES)}"
+        assert row[5] == 0
+    # Faults actually fired at the non-zero rates...
+    assert rows[1][4] > 0 and rows[2][4] > 0
+    # ...and retrying them costs simulated time.
+    assert float(rows[2][6]) >= float(rows[0][6])

@@ -16,9 +16,8 @@ operations (optionally spread over W workers).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.connect.connector import DBMSConnector
 from repro.core.annotate import Annotation
@@ -113,7 +112,7 @@ class MediatorSystem:
                 raise OptimizerError(
                     f"scan of {node.table!r} lacks a source DBMS"
                 )
-            annotation.node_db[id(node)] = node.source_db
+            annotation.bind_node(node, node.source_db)
             return node.source_db
         children = node.children()
         child_dbs = [
@@ -129,9 +128,9 @@ class MediatorSystem:
                 db = same
             else:
                 db = MEDIATOR
-        annotation.node_db[id(node)] = db
+        annotation.bind_node(node, db)
         for child in children:
-            annotation.edge_move[(id(child), id(node))] = Movement.EXPLICIT
+            annotation.bind_edge(child, node, Movement.EXPLICIT)
         return db
 
     # -- run --------------------------------------------------------------------

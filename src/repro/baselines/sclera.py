@@ -10,9 +10,7 @@ combination costs it up to ~30× against XDB.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.baselines.mediator import BaselineReport
 from repro.connect.connector import DBMSConnector
@@ -20,7 +18,7 @@ from repro.core.annotate import Annotation
 from repro.core.catalog import GlobalCatalog
 from repro.core.finalize import PlanFinalizer
 from repro.core.logical import LogicalOptimizer
-from repro.core.plan import DelegationPlan, Movement
+from repro.core.plan import Movement
 from repro.engine.cost import CardinalityEstimator, CostModel
 from repro.errors import OptimizerError
 from repro.federation.deployment import Deployment
@@ -68,21 +66,21 @@ class ScleraSystem:
                 raise OptimizerError(
                     f"scan of {node.table!r} lacks a source DBMS"
                 )
-            annotation.node_db[id(node)] = node.source_db
+            annotation.bind_node(node, node.source_db)
             return node.source_db
         children = node.children()
         child_dbs = [
             self._annotate_node(child, annotation) for child in children
         ]
         db = child_dbs[0]  # unary inherit; binary: the LEFT input's DBMS
-        annotation.node_db[id(node)] = db
+        annotation.bind_node(node, db)
         for child, child_db in zip(children, child_dbs):
             movement = (
                 Movement.IMPLICIT
                 if child_db == db
                 else Movement.EXPLICIT
             )
-            annotation.edge_move[(id(child), id(node))] = movement
+            annotation.bind_edge(child, node, movement)
         return db
 
     # -- execution -----------------------------------------------------------

@@ -18,7 +18,6 @@ from repro.core.client import XDB
 from repro.engine.result import Result
 from repro.errors import ReproError
 from repro.federation.deployment import Deployment
-from repro.net.metrics import summarize
 
 
 @dataclass

@@ -4,9 +4,14 @@ Connectors are the only channel between the XDB middleware (and the
 mediator baselines) and the underlying databases: they render statements
 in each DBMS's dialect, ship them as control messages over the simulated
 network, and wrap EXPLAIN into calibrated costing functions for the
-optimizer's consulting step.
+optimizer's consulting step.  Every control, DDL, and fetch path runs
+under a :class:`RetryPolicy` that absorbs transient faults.
 """
 
-from repro.connect.connector import CalibratedExplain, DBMSConnector
+from repro.connect.connector import (
+    CalibratedExplain,
+    DBMSConnector,
+    RetryPolicy,
+)
 
-__all__ = ["CalibratedExplain", "DBMSConnector"]
+__all__ = ["CalibratedExplain", "DBMSConnector", "RetryPolicy"]

@@ -10,24 +10,65 @@ Responsibilities (paper §III–§V):
 * delegation — render DDL in the DBMS's own dialect and ship it as a
   control message;
 * execution — submit the final XDB query (or, for the mediator
-  baselines, fetch subquery results into the mediator node).
+  baselines, fetch subquery results into the mediator node);
+* resilience — every control/DDL/fetch path runs through a guarded
+  retry loop: transient faults (injected or environmental) back off
+  exponentially in *simulated* seconds, slow links trip a per-call
+  timeout budget, and engine outages fail fast so the optimizer can
+  re-plan around the dead engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TypeVar
 
-from repro.engine.catalog import BaseTable
 from repro.engine.database import Database
 from repro.engine.fdw import PROTOCOL_FACTORS
 from repro.engine.result import Result
 from repro.engine.stats import TableStats
-from repro.errors import ConnectorError
-from repro.net.network import Network
+from repro.errors import (
+    ConnectorError,
+    ConnectorTimeoutError,
+    NetworkPartitionedError,
+    TransientConnectorError,
+)
+from repro.net.network import CONTROL_MESSAGE_BYTES, Network
 from repro.relational.schema import Schema
 from repro.sql import ast
 from repro.sql.render import render
+
+T = TypeVar("T")
+
+#: Errors the guarded retry loop may retry; anything else fails fast.
+RETRYABLE_ERRORS = (TransientConnectorError, NetworkPartitionedError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout configuration for one connector.
+
+    Backoff is exponential — ``base_backoff_seconds * multiplier**k``,
+    capped at ``max_backoff_seconds`` — and accrues in *simulated*
+    seconds (the connector's ``backoff_seconds`` counter), so phase
+    breakdowns price retries without real sleeps.
+    ``call_timeout_seconds`` is the per-call budget: a control round
+    trip whose simulated time would exceed it raises
+    :class:`ConnectorTimeoutError` (retryable — the link may recover).
+    """
+
+    max_attempts: int = 4
+    base_backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 2.0
+    call_timeout_seconds: Optional[float] = 30.0
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff after the ``attempt``-th (1-based) failed attempt."""
+        raw = self.base_backoff_seconds * (
+            self.backoff_multiplier ** (attempt - 1)
+        )
+        return min(raw, self.max_backoff_seconds)
 
 
 @dataclass(frozen=True)
@@ -49,6 +90,7 @@ class DBMSConnector:
         network: Network,
         middleware_node: str,
         protocol: str = "binary",
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if protocol not in PROTOCOL_FACTORS:
             raise ConnectorError(f"unknown wire protocol {protocol!r}")
@@ -56,10 +98,23 @@ class DBMSConnector:
         self.network = network
         self.middleware_node = middleware_node
         self.protocol = protocol
+        self.retry_policy = retry_policy or RetryPolicy()
+        #: fault-injection hook (see :mod:`repro.faults`); ``None`` in
+        #: production — the guard path then adds no overhead beyond a
+        #: timeout precheck
+        self.fault_injector = None
         #: EXPLAIN consulting round-trips (paper's ann-phase metric)
         self.consultations = 0
         #: delegation / metadata control messages
         self.control_messages = 0
+        #: retried attempts (after a retryable failure)
+        self.retries = 0
+        #: retryable failures observed (injected or environmental)
+        self.failures = 0
+        #: calls abandoned after exhausting ``retry_policy.max_attempts``
+        self.giveups = 0
+        #: simulated seconds spent backing off between attempts
+        self.backoff_seconds = 0.0
 
     @property
     def name(self) -> str:
@@ -76,6 +131,78 @@ class DBMSConnector:
     def reset_counters(self) -> None:
         self.consultations = 0
         self.control_messages = 0
+        self.retries = 0
+        self.failures = 0
+        self.giveups = 0
+        self.backoff_seconds = 0.0
+
+    # -- resilience -------------------------------------------------------------
+
+    def _guarded(self, op: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` with fault injection, timeout, and retry/backoff.
+
+        The loop retries :data:`RETRYABLE_ERRORS` up to
+        ``retry_policy.max_attempts`` total attempts, accruing
+        exponential backoff into ``backoff_seconds`` (simulated time —
+        no real sleeping).  Non-retryable errors, e.g. an engine
+        outage, propagate immediately so callers can re-plan.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.before_call(self.name, op)
+                self._check_timeout(op)
+                return fn()
+            except RETRYABLE_ERRORS:
+                self.failures += 1
+                if attempt >= policy.max_attempts:
+                    self.giveups += 1
+                    raise
+                self.retries += 1
+                self.backoff_seconds += policy.backoff_for(attempt)
+
+    def _check_timeout(self, op: str) -> None:
+        """Enforce the per-call budget against the current link state.
+
+        The precheck prices a control round trip middleware ↔ DBMS on
+        the (possibly degraded) link *before* executing, so a timed-out
+        call has no partial server-side effect and is safe to retry.
+        """
+        budget = self.retry_policy.call_timeout_seconds
+        if budget is None:
+            return
+        round_trip = 2 * self.network.transfer_time(
+            self.middleware_node, self.node, CONTROL_MESSAGE_BYTES
+        )
+        if round_trip > budget:
+            raise ConnectorTimeoutError(
+                f"control round trip to {self.name!r} would take "
+                f"{round_trip:.3f}s, exceeding the {budget:.3f}s "
+                f"per-call budget ({op})"
+            )
+
+    def is_available(self) -> bool:
+        """Probe reachability without consuming the fault schedule.
+
+        Used by the annotator's degradation-aware placement: an engine
+        that is down, partitioned away from the middleware, or behind a
+        link too slow for the call budget is excluded from the
+        candidate set ``A`` (§IV-B2 topology-constraint machinery).
+        """
+        if self.fault_injector is not None and self.fault_injector.engine_down(
+            self.name
+        ):
+            return False
+        if self.network.is_partitioned(self.middleware_node, self.node):
+            return False
+        try:
+            self._check_timeout("probe")
+        except ConnectorTimeoutError:
+            return False
+        return True
 
     # -- metadata ---------------------------------------------------------------
 
@@ -90,16 +217,23 @@ class DBMSConnector:
 
     def list_tables(self) -> Dict[str, Schema]:
         """Names and schemas of the database's stored tables."""
-        self._control("metadata")
-        return {
-            table.name: table.schema
-            for table in self.database.catalog.tables()
-            if not table.temporary
-        }
+
+        def call() -> Dict[str, Schema]:
+            self._control("metadata")
+            return {
+                table.name: table.schema
+                for table in self.database.catalog.tables()
+                if not table.temporary
+            }
+
+        return self._guarded("metadata", call)
 
     def table_stats(self, name: str) -> Optional[TableStats]:
-        self._control("metadata")
-        return self.database.table_stats(name)
+        def call() -> Optional[TableStats]:
+            self._control("metadata")
+            return self.database.table_stats(name)
+
+        return self._guarded("metadata", call)
 
     def table_rows(self, name: str) -> float:
         stats = self.database.table_stats(name)
@@ -113,15 +247,19 @@ class DBMSConnector:
 
     def explain(self, query: ast.Select) -> CalibratedExplain:
         """One consultation round-trip: remote EXPLAIN, calibrated."""
-        self.consultations += 1
-        self._control("consult")
-        info = self.database.explain_select(query)
-        return CalibratedExplain(
-            estimated_rows=info.estimated_rows,
-            cost_seconds=self.profile.cost_to_seconds(info.total_cost),
-            row_width=info.row_width,
-            plan_text=info.plan_text,
-        )
+
+        def call() -> CalibratedExplain:
+            self.consultations += 1
+            self._control("consult")
+            info = self.database.explain_select(query)
+            return CalibratedExplain(
+                estimated_rows=info.estimated_rows,
+                cost_seconds=self.profile.cost_to_seconds(info.total_cost),
+                row_width=info.row_width,
+                plan_text=info.plan_text,
+            )
+
+        return self._guarded("consult", call)
 
     def estimate_join_cost(
         self,
@@ -143,8 +281,12 @@ class DBMSConnector:
         smaller side (the paper's "DBMS-specific optimizations").
         Returns calibrated seconds.
         """
-        self.consultations += 1
-        self._control("consult")
+
+        def call() -> None:
+            self.consultations += 1
+            self._control("consult")
+
+        self._guarded("consult", call)
         profile = self.profile
         fetch = moved_rows * profile.foreign_fetch_cost_per_row
         if materialized:
@@ -168,44 +310,59 @@ class DBMSConnector:
     def execute_ddl(self, statement: ast.Statement) -> Result:
         """Render ``statement`` in the DBMS's dialect and execute it."""
         sql = render(statement, self.database.dialect)
-        self._control("delegation")
-        return self.database.execute(sql)
+
+        def call() -> Result:
+            self._control("delegation")
+            return self.database.execute(sql)
+
+        return self._guarded("ddl", call)
 
     def execute_sql(self, sql: str) -> Result:
-        self._control("delegation")
-        return self.database.execute(sql)
+        def call() -> Result:
+            self._control("delegation")
+            return self.database.execute(sql)
+
+        return self._guarded("ddl", call)
 
     # -- execution / data movement ----------------------------------------------------
 
     def run_query(self, query: ast.Select, client_node: str) -> Result:
         """Run a final query; the result travels DBMS → client."""
-        result = self.database.execute_select(query)
-        self.network.record_transfer(
-            src=self.node,
-            dst=client_node,
-            payload_bytes=int(
-                result.byte_size() * PROTOCOL_FACTORS[self.protocol]
-            ),
-            rows=len(result),
-            tag="result",
-            protocol=self.protocol,
-        )
-        return result
+
+        def call() -> Result:
+            result = self.database.execute_select(query)
+            self.network.record_transfer(
+                src=self.node,
+                dst=client_node,
+                payload_bytes=int(
+                    result.byte_size() * PROTOCOL_FACTORS[self.protocol]
+                ),
+                rows=len(result),
+                tag="result",
+                protocol=self.protocol,
+            )
+            return result
+
+        return self._guarded("query", call)
 
     def fetch(self, query: ast.Select, tag: str = "mediator-fetch") -> Result:
         """Fetch a subquery result into the middleware node (MW path)."""
-        result = self.database.execute_select(query)
-        self.network.record_transfer(
-            src=self.node,
-            dst=self.middleware_node,
-            payload_bytes=int(
-                result.byte_size() * PROTOCOL_FACTORS[self.protocol]
-            ),
-            rows=len(result),
-            tag=tag,
-            protocol=self.protocol,
-        )
-        return result
+
+        def call() -> Result:
+            result = self.database.execute_select(query)
+            self.network.record_transfer(
+                src=self.node,
+                dst=self.middleware_node,
+                payload_bytes=int(
+                    result.byte_size() * PROTOCOL_FACTORS[self.protocol]
+                ),
+                rows=len(result),
+                tag=tag,
+                protocol=self.protocol,
+            )
+            return result
+
+        return self._guarded("fetch", call)
 
     def push_rows(
         self,
@@ -215,16 +372,20 @@ class DBMSConnector:
         tag: str = "mediator-ship",
     ) -> None:
         """Ship rows from the middleware into a (temp) table (MW path)."""
-        self.network.record_transfer(
-            src=self.middleware_node,
-            dst=self.node,
-            payload_bytes=int(
-                schema.row_width()
-                * len(rows)
-                * PROTOCOL_FACTORS[self.protocol]
-            ),
-            rows=len(rows),
-            tag=tag,
-            protocol=self.protocol,
-        )
-        self.database.create_table(table_name, schema, rows, replace=True)
+
+        def call() -> None:
+            self.network.record_transfer(
+                src=self.middleware_node,
+                dst=self.node,
+                payload_bytes=int(
+                    schema.row_width()
+                    * len(rows)
+                    * PROTOCOL_FACTORS[self.protocol]
+                ),
+                rows=len(rows),
+                tag=tag,
+                protocol=self.protocol,
+            )
+            self.database.create_table(table_name, schema, rows, replace=True)
+
+        return self._guarded("fetch", call)

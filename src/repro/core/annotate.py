@@ -37,7 +37,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 from repro.connect.connector import DBMSConnector
 from repro.core.plan import Movement
 from repro.engine.fdw import PROTOCOL_FACTORS
-from repro.errors import OptimizerError
+from repro.errors import EngineUnavailableError, OptimizerError
 from repro.federation.deployment import protocol_between
 from repro.net.network import Network
 from repro.relational import algebra
@@ -47,7 +47,14 @@ MOVEMENT_POLICIES = ("cost", "implicit", "explicit")
 
 @dataclass
 class Annotation:
-    """The annotator's output: per-node DBMS and per-edge movement."""
+    """The annotator's output: per-node DBMS and per-edge movement.
+
+    Keys are ``id(node)``, so the annotation pins a strong reference
+    to every node it mentions (``_node_refs``): without it, a GC'd
+    plan node could alias a reused id and return stale annotations.
+    Populate via :meth:`bind_node` / :meth:`bind_edge`, which maintain
+    the references.
+    """
 
     #: id(node) -> DBMS name
     node_db: Dict[int, str] = field(default_factory=dict)
@@ -57,6 +64,25 @@ class Annotation:
     consultations: int = 0
     #: Rule-4 decisions, for tests/inspection: id(join) -> decision
     decisions: Dict[int, "PlacementDecision"] = field(default_factory=dict)
+    #: id(node) -> node: keeps annotated nodes alive while the
+    #: annotation is, so an id can never be recycled under us
+    _node_refs: Dict[int, algebra.LogicalPlan] = field(
+        default_factory=dict, repr=False
+    )
+
+    def bind_node(self, node: algebra.LogicalPlan, db: str) -> None:
+        self.node_db[id(node)] = db
+        self._node_refs[id(node)] = node
+
+    def bind_edge(
+        self,
+        child: algebra.LogicalPlan,
+        parent: algebra.LogicalPlan,
+        movement: Movement,
+    ) -> None:
+        self.edge_move[(id(child), id(parent))] = movement
+        self._node_refs[id(child)] = child
+        self._node_refs[id(parent)] = parent
 
     def db_of(self, node: algebra.LogicalPlan) -> str:
         try:
@@ -128,15 +154,14 @@ class PlanAnnotator:
                     f"scan of {node.table!r} lacks a source DBMS "
                     "(Rule 1 needs the global catalog annotation)"
                 )
-            annotation.node_db[id(node)] = node.source_db
+            self._require_data_holder(node)
+            annotation.bind_node(node, node.source_db)
             return node.source_db
 
         if len(children) == 1:
             child_db = self._visit(children[0], annotation)
-            annotation.node_db[id(node)] = child_db
-            annotation.edge_move[(id(children[0]), id(node))] = (
-                Movement.IMPLICIT
-            )
+            annotation.bind_node(node, child_db)
+            annotation.bind_edge(children[0], node, Movement.IMPLICIT)
             return child_db
 
         if isinstance(node, (algebra.Join, algebra.Union)):
@@ -144,13 +169,9 @@ class PlanAnnotator:
             right_db = self._visit(node.right, annotation)
             if left_db == right_db:
                 # Rule 3.
-                annotation.node_db[id(node)] = left_db
-                annotation.edge_move[(id(node.left), id(node))] = (
-                    Movement.IMPLICIT
-                )
-                annotation.edge_move[(id(node.right), id(node))] = (
-                    Movement.IMPLICIT
-                )
+                annotation.bind_node(node, left_db)
+                annotation.bind_edge(node.left, node, Movement.IMPLICIT)
+                annotation.bind_edge(node.right, node, Movement.IMPLICIT)
                 return left_db
             return self._rule4(node, left_db, right_db, annotation)
 
@@ -158,6 +179,28 @@ class PlanAnnotator:
             f"cannot annotate node {type(node).__name__} with "
             f"{len(children)} children"
         )
+
+    # -- degradation-aware placement -----------------------------------
+
+    def _require_data_holder(self, scan: algebra.Scan) -> None:
+        """A dead *data-holding* DBMS is unrecoverable — say so clearly.
+
+        Placement can route around an unreachable candidate (the set
+        ``A`` shrinks), but a scan's source holds the data: without it
+        the query has no answer, so raise a diagnostic instead of
+        letting a connector error surface as a stack trace later.
+        """
+        connector = self._connectors.get(scan.source_db)
+        if connector is not None and not connector.is_available():
+            raise EngineUnavailableError(
+                f"DBMS {scan.source_db!r} holding table {scan.table!r} "
+                "is unreachable; the query cannot be answered until it "
+                "recovers"
+            )
+
+    def _available(self, db: str) -> bool:
+        connector = self._connectors.get(db)
+        return connector is None or connector.is_available()
 
     # -- Rule 4 ---------------------------------------------------------------
 
@@ -170,6 +213,10 @@ class PlanAnnotator:
             ordered.extend(
                 name for name in self._connectors if name not in ordered
             )
+        # Degradation awareness: an engine that is down or cut off from
+        # the middleware at optimization time cannot host an operator —
+        # constrain A and plan around it (§IV-B2).
+        ordered = [name for name in ordered if self._available(name)]
         # Topology constraint (§IV-B2): every moving input must be able
         # to reach the candidate over the (possibly restricted) network.
         reachable = [
@@ -187,7 +234,8 @@ class PlanAnnotator:
         if not reachable:
             raise OptimizerError(
                 f"no reachable placement for a join over {left_db!r} and "
-                f"{right_db!r} under the current network topology"
+                f"{right_db!r} under the current network topology and "
+                "engine availability"
             )
         return reachable
 
@@ -270,9 +318,9 @@ class PlanAnnotator:
 
         assert best is not None
         _, chosen_db, left_move, right_move = best
-        annotation.node_db[id(join)] = chosen_db
-        annotation.edge_move[(id(join.left), id(join))] = left_move
-        annotation.edge_move[(id(join.right), id(join))] = right_move
+        annotation.bind_node(join, chosen_db)
+        annotation.bind_edge(join.left, join, left_move)
+        annotation.bind_edge(join.right, join, right_move)
         annotation.decisions[id(join)] = PlacementDecision(
             chosen_db=chosen_db,
             left_movement=left_move,

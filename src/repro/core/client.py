@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.core.annotate import Annotation, PlanAnnotator
 from repro.core.catalog import GlobalCatalog
@@ -31,7 +31,13 @@ from repro.core.timing import (
 from repro.engine.result import Result
 from repro.errors import OptimizerError
 from repro.federation.deployment import Deployment
-from repro.net.metrics import TransferSummary, summarize
+from repro.net.metrics import (
+    ResilienceSummary,
+    TransferSummary,
+    snapshot_resilience,
+    summarize,
+    summarize_resilience,
+)
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 
@@ -46,10 +52,13 @@ class XDBReport:
     #: None for re-executions of a prepared query (no annotation phase)
     annotation: Optional[Annotation]
     schedule: ScheduleResult
-    #: simulated seconds per phase: prep / lopt / ann / exec
+    #: simulated seconds per phase: prep / lopt / ann / exec — phase
+    #: times include any simulated retry backoff spent in that phase
     phases: Dict[str, float] = field(default_factory=dict)
     transfers: Optional[TransferSummary] = None
     consultations: int = 0
+    #: per-connector retry/failure counters for this submission
+    resilience: Optional[ResilienceSummary] = None
 
     @property
     def total_seconds(self) -> float:
@@ -83,6 +92,8 @@ class XDBReport:
                 f"data moved: {self.transfers.total_megabytes:.3f} MB in "
                 f"{self.transfers.transfer_count} transfers"
             )
+        if self.resilience is not None and self.resilience.degraded:
+            lines.append(f"resilience: {self.resilience.describe()}")
         return "\n".join(lines)
 
 
@@ -129,31 +140,42 @@ class XDB:
         """Run a cross-database query end to end and report everything."""
         network = self.deployment.network
         ledger = network.log
+        resilience_base = snapshot_resilience(self.connectors)
 
         # --- prep: parse + gather metadata through the connectors -------
         mark = len(ledger)
+        backoff_mark = self._total_backoff()
         cpu_start = time.perf_counter()
         select = self._parse(query)
         if refresh_metadata or not self._metadata_fresh:
             self.catalog.refresh()
             self._metadata_fresh = True
-        prep_seconds = self._phase_seconds(cpu_start, ledger, mark)
+        prep_seconds = self._phase_seconds(
+            cpu_start, ledger, mark, backoff_mark
+        )
 
         # --- lopt: logical optimization (pure middleware CPU) ------------
         mark = len(ledger)
+        backoff_mark = self._total_backoff()
         cpu_start = time.perf_counter()
         logical_plan = self.optimizer.optimize(select)
-        lopt_seconds = self._phase_seconds(cpu_start, ledger, mark)
+        lopt_seconds = self._phase_seconds(
+            cpu_start, ledger, mark, backoff_mark
+        )
 
         # --- ann: plan annotation + finalization (consulting) ------------
         mark = len(ledger)
+        backoff_mark = self._total_backoff()
         cpu_start = time.perf_counter()
         annotation = self.annotator.annotate(logical_plan)
         dplan = self.finalizer.finalize(logical_plan, annotation)
-        ann_seconds = self._phase_seconds(cpu_start, ledger, mark)
+        ann_seconds = self._phase_seconds(
+            cpu_start, ledger, mark, backoff_mark
+        )
 
         # --- exec: delegation DDL + decentralized execution ---------------
         mark = len(ledger)
+        backoff_mark = self._total_backoff()
         cpu_start = time.perf_counter()
         deployed = self.delegator.delegate(dplan)
         root_connector = self.connectors[deployed.root_db]
@@ -175,8 +197,13 @@ class XDB:
             if record.tag in ("delegation", "control")
         )
         del cpu_start  # middleware CPU during exec is not on the critical
-        # path (the DBMSes run decentrally); control messages are.
-        exec_seconds = schedule.total_seconds + control_seconds
+        # path (the DBMSes run decentrally); control messages are, and
+        # so is simulated retry backoff spent on the DDL cascade.
+        exec_seconds = (
+            schedule.total_seconds
+            + control_seconds
+            + (self._total_backoff() - backoff_mark)
+        )
         transfers = summarize(exec_window)
 
         if cleanup:
@@ -196,6 +223,7 @@ class XDB:
             },
             transfers=transfers,
             consultations=annotation.consultations,
+            resilience=summarize_resilience(self.connectors, resilience_base),
         )
 
     def explain(self, query: Union[str, ast.Select]) -> str:
@@ -262,12 +290,21 @@ class XDB:
             )
         return statement
 
-    @staticmethod
-    def _phase_seconds(cpu_start: float, ledger, mark: int) -> float:
-        """Real middleware CPU plus simulated network time of the phase."""
+    def _total_backoff(self) -> float:
+        """Simulated retry-backoff seconds accrued across connectors."""
+        return sum(
+            connector.backoff_seconds
+            for connector in self.connectors.values()
+        )
+
+    def _phase_seconds(
+        self, cpu_start: float, ledger, mark: int, backoff_mark: float
+    ) -> float:
+        """Real middleware CPU plus simulated network and backoff time."""
         cpu = time.perf_counter() - cpu_start
         network = sum(record.seconds for record in ledger[mark:])
-        return cpu + network
+        backoff = self._total_backoff() - backoff_mark
+        return cpu + network + backoff
 
 
 class PreparedQuery:
@@ -293,7 +330,9 @@ class PreparedQuery:
             raise OptimizerError("prepared query is closed")
         network = self._xdb.deployment.network
         ledger = network.log
+        resilience_base = snapshot_resilience(self._xdb.connectors)
         mark = len(ledger)
+        backoff_mark = self._xdb._total_backoff()
         cpu_start = time.perf_counter()
 
         if self.executions > 0:
@@ -320,6 +359,7 @@ class PreparedQuery:
             if record.tag in ("delegation", "control")
         )
         del cpu_start
+        backoff_seconds = self._xdb._total_backoff() - backoff_mark
         return XDBReport(
             result=result,
             plan=self.deployed.plan,
@@ -330,9 +370,16 @@ class PreparedQuery:
                 "prep": 0.0,
                 "lopt": 0.0,
                 "ann": 0.0,
-                "exec": schedule.total_seconds + control_seconds,
+                "exec": (
+                    schedule.total_seconds
+                    + control_seconds
+                    + backoff_seconds
+                ),
             },
             transfers=summarize(exec_window),
+            resilience=summarize_resilience(
+                self._xdb.connectors, resilience_base
+            ),
         )
 
     def close(self) -> None:

@@ -17,17 +17,25 @@ The traversal returns the *XDB query* — ``SELECT * FROM <root view>`` —
 which the client runs on the root task's DBMS to trigger the in-situ
 cascade (§V-B).  All created objects are short-lived and dropped by
 :meth:`DeployedQuery.cleanup`.
+
+Deployment is **transactional** (deploy-or-rollback): if any DDL
+statement fails mid-cascade, every object created so far is dropped in
+reverse creation order and a structured :class:`DelegationError`
+carrying the DDL log is raised — a partially deployed cascade never
+leaks onto the autonomous engines.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Tuple
+
+from repro.errors import ReproError
 
 from repro.connect.connector import DBMSConnector
 from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
 from repro.errors import DelegationError
-from repro.relational import algebra
 from repro.relational.decompile import plan_to_select
 from repro.sql import ast
 from repro.sql.render import render
@@ -51,29 +59,57 @@ class DeployedQuery:
     materializations: List[Tuple[str, str, ast.CreateTableAs]] = field(
         default_factory=list
     )
-    _connectors: Mapping[str, DBMSConnector] = field(repr=False, default=None)
+    _connectors: Mapping[str, DBMSConnector] = field(
+        repr=False, default_factory=dict
+    )
+
+    def _connector(self, db: str) -> DBMSConnector:
+        connector = self._connectors.get(db) if self._connectors else None
+        if connector is None:
+            raise DelegationError(
+                f"no connector for DBMS {db!r} — this DeployedQuery was "
+                "built without its federation's connectors"
+            )
+        return connector
 
     def cleanup(self) -> None:
-        """Drop every short-lived object, consumers before producers."""
+        """Drop every short-lived object, consumers before producers.
+
+        Best-effort and idempotent: objects whose DROP fails stay
+        queued so a later call can retry; a second call over an empty
+        ledger is a no-op.
+        """
+        remaining: List[Tuple[str, str, str]] = []
+        errors: List[str] = []
         for db, kind, name in reversed(self.created_objects):
-            self._connectors[db].execute_ddl(
-                ast.DropObject(kind=kind, name=name, if_exists=True)
+            try:
+                self._connector(db).execute_ddl(
+                    ast.DropObject(kind=kind, name=name, if_exists=True)
+                )
+            except ReproError as exc:
+                remaining.append((db, kind, name))
+                errors.append(f"{kind} {name!r} on {db!r}: {exc}")
+        self.created_objects[:] = list(reversed(remaining))
+        if errors:
+            raise DelegationError(
+                "cleanup could not drop every short-lived object: "
+                + "; ".join(errors),
+                leaked=remaining,
             )
-        self.created_objects.clear()
 
     def refresh_materializations(self) -> None:
         """Re-run every explicit edge's CTAS against fresh base data.
 
         Views (implicit edges) always see fresh data; materialized
         intermediates are snapshots and must be rebuilt before a
-        prepared query re-executes.
+        prepared query re-executes.  The rebuild uses ``CREATE OR
+        REPLACE TABLE AS`` — the engine computes the fresh result
+        before swapping, so a failing CTAS leaves the previous
+        snapshot in place instead of a missing table.
         """
         for db, table_name, ctas in self.materializations:
-            connector = self._connectors[db]
-            connector.execute_ddl(
-                ast.DropObject(kind="TABLE", name=table_name, if_exists=True)
-            )
-            connector.execute_ddl(ctas)
+            refresh = dataclasses.replace(ctas, or_replace=True)
+            self._connector(db).execute_ddl(refresh)
 
 
 class DelegationEngine:
@@ -92,15 +128,33 @@ class DelegationEngine:
         edge_views: Dict[int, str] = {}
         materializations: List[Tuple[str, str, ast.CreateTableAs]] = []
 
-        root_view = self._process_task(
-            dplan,
-            dplan.root,
-            query_id,
-            created,
-            ddl_log,
-            edge_views,
-            materializations,
-        )
+        try:
+            root_view = self._process_task(
+                dplan,
+                dplan.root,
+                query_id,
+                created,
+                ddl_log,
+                edge_views,
+                materializations,
+            )
+        except ReproError as exc:
+            rolled_back, leaked = self._rollback(created)
+            failed_db = ddl_log[-1][0] if ddl_log else None
+            message = (
+                f"delegation failed after {len(ddl_log)} DDL "
+                f"statement(s): {exc}; rolled back "
+                f"{len(rolled_back)} object(s)"
+            )
+            if leaked:
+                message += f", could not drop {len(leaked)} object(s)"
+            raise DelegationError(
+                message,
+                ddl_log=ddl_log,
+                rolled_back=rolled_back,
+                leaked=leaked,
+                failed_db=failed_db,
+            ) from exc
 
         xdb_query = ast.Select(
             items=(ast.SelectItem(ast.Star()),),
@@ -116,6 +170,32 @@ class DelegationEngine:
             materializations=materializations,
             _connectors=self._connectors,
         )
+
+    def _rollback(
+        self, created: List[Tuple[str, str, str]]
+    ) -> Tuple[List[Tuple[str, str, str]], List[Tuple[str, str, str]]]:
+        """Drop partially created objects, newest first (best effort).
+
+        Returns ``(rolled_back, leaked)`` — drops go through the
+        connectors' retry layer, so transient faults during rollback
+        are absorbed; an object is only reported leaked when its DROP
+        exhausts the retry budget.
+        """
+        rolled_back: List[Tuple[str, str, str]] = []
+        leaked: List[Tuple[str, str, str]] = []
+        for db, kind, name in reversed(created):
+            connector = self._connectors.get(db)
+            if connector is None:
+                leaked.append((db, kind, name))
+                continue
+            try:
+                connector.execute_ddl(
+                    ast.DropObject(kind=kind, name=name, if_exists=True)
+                )
+                rolled_back.append((db, kind, name))
+            except ReproError:
+                leaked.append((db, kind, name))
+        return rolled_back, leaked
 
     # -- Algorithm 1 -------------------------------------------------------------
 

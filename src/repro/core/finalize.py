@@ -21,7 +21,6 @@ from repro.core.plan import DelegationPlan, Movement, Task
 from repro.errors import OptimizerError
 from repro.relational import algebra
 from repro.relational.builder import rebuild_expression, unique_names
-from repro.relational.schema import Schema
 from repro.sql import ast
 
 #: (relation_lower | None, old_name_lower) -> new name

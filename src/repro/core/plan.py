@@ -12,7 +12,7 @@ Task expressions are ordinary logical plans whose cross-task inputs are
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import OptimizerError

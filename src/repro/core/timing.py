@@ -19,7 +19,7 @@ systems are timed under one model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.connect.connector import DBMSConnector
 from repro.core.delegate import DeployedQuery

@@ -52,7 +52,12 @@ class CardinalityEstimator:
 
     def __init__(self, stats_provider: StatsProviderFn):
         self._stats_provider = stats_provider
-        self._cache: Dict[int, _NodeEstimate] = {}
+        # id(plan) -> (plan, estimate).  The entry keeps the node alive
+        # so its id cannot be recycled by a later allocation and alias
+        # a stale estimate; the identity check is belt and braces.
+        self._cache: Dict[
+            int, Tuple[algebra.LogicalPlan, _NodeEstimate]
+        ] = {}
 
     def estimate_rows(self, plan: algebra.LogicalPlan) -> float:
         """Estimated output rows of ``plan`` (also annotates the node)."""
@@ -79,8 +84,8 @@ class CardinalityEstimator:
 
     def _estimate(self, plan: algebra.LogicalPlan) -> _NodeEstimate:
         cached = self._cache.get(id(plan))
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] is plan:
+            return cached[1]
         method = getattr(self, f"_est_{type(plan).__name__}", None)
         if method is None:
             raise OptimizerError(
@@ -88,7 +93,7 @@ class CardinalityEstimator:
             )
         estimate = method(plan)
         estimate.rows = max(estimate.rows, 0.0)
-        self._cache[id(plan)] = estimate
+        self._cache[id(plan)] = (plan, estimate)
         plan.estimated_rows = estimate.rows
         return estimate
 

@@ -203,6 +203,8 @@ class Database:
         return Result(Schema([]), [], command="CREATE TABLE")
 
     def _create_table_as(self, statement: ast.CreateTableAs) -> Result:
+        # Compute before swapping: with OR REPLACE, a failing defining
+        # query must leave the previous snapshot intact.
         result = self.execute_select(statement.query)
         table = BaseTable(
             statement.name,
@@ -210,7 +212,7 @@ class Database:
             result.rows,
             temporary=statement.temporary,
         )
-        self.catalog.add(table)
+        self.catalog.add(table, replace=statement.or_replace)
         return Result(Schema([]), [], command="CREATE TABLE AS")
 
     def _drop(self, statement: ast.DropObject) -> Result:

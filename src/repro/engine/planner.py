@@ -9,7 +9,7 @@ capabilities.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.engine import physical
 from repro.engine.catalog import BaseTable, ForeignTable

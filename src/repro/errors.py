@@ -51,8 +51,37 @@ class ConnectorError(ReproError):
     """Raised when a DBMS connector cannot reach or drive its database."""
 
 
+class TransientConnectorError(ConnectorError):
+    """A retryable connector failure (dropped packet, hiccup, restart).
+
+    The connector's retry loop treats this class (and subclasses) as
+    safe to retry with backoff; anything else fails the call at once.
+    """
+
+
+class ConnectorTimeoutError(TransientConnectorError):
+    """A call's simulated round trip exceeded its per-call timeout budget."""
+
+
+class EngineUnavailableError(ConnectorError):
+    """The DBMS behind a connector is down (engine outage).
+
+    Not retryable: an outage outlives a backoff window, so callers
+    should re-plan around the engine (or surface a clear diagnostic
+    when the engine holds data the query needs).
+    """
+
+
 class NetworkError(ReproError):
     """Raised for invalid simulated-network configurations or routes."""
+
+
+class NetworkPartitionedError(NetworkError):
+    """A link is (temporarily) partitioned; transfers on it fail.
+
+    Retryable by the connector layer — partitions heal, unlike the
+    permanent topology constraints of :meth:`Network.forbid_link`.
+    """
 
 
 class OptimizerError(ReproError):
@@ -60,7 +89,32 @@ class OptimizerError(ReproError):
 
 
 class DelegationError(ReproError):
-    """Raised when a delegation plan cannot be deployed onto the DBMSes."""
+    """Raised when a delegation plan cannot be deployed onto the DBMSes.
+
+    Carries the structured deployment context: the DDL statements
+    executed before the failure (``ddl_log``), the objects dropped by
+    the deploy-or-rollback pass (``rolled_back``), and any objects the
+    rollback itself could not remove (``leaked`` — empty in the normal
+    case).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        ddl_log=None,
+        rolled_back=None,
+        leaked=None,
+        failed_db=None,
+    ):
+        super().__init__(message)
+        #: (db, rendered DDL) executed before the failure
+        self.ddl_log = list(ddl_log) if ddl_log else []
+        #: (db, kind, name) dropped during rollback
+        self.rolled_back = list(rolled_back) if rolled_back else []
+        #: (db, kind, name) the rollback could not drop
+        self.leaked = list(leaked) if leaked else []
+        #: the DBMS whose statement failed, when known
+        self.failed_db = failed_db
 
 
 class WorkloadError(ReproError):

@@ -1,0 +1,38 @@
+"""Deterministic, seeded fault injection for the federation.
+
+XDB is a middleware over *autonomous* DBMSes (DESIGN.md §1): engines
+restart, links flap, and a delegation can die halfway through its DDL
+cascade.  This package provides the reproducible adversary used by the
+resilience tests and ``benchmarks/bench_fault_injection.py``:
+
+* :class:`FaultPolicy` — a declarative description of the faults to
+  inject: a seeded transient-error rate (global or per DBMS), engine
+  outage windows, slow or partitioned links, and scripted one-shot
+  faults ("kill the Nth DDL statement");
+* :class:`FaultInjector` — the harness that installs a policy onto a
+  :class:`~repro.federation.deployment.Deployment`, hooking every
+  :class:`~repro.connect.connector.DBMSConnector` guarded call and the
+  network's links.  All randomness flows from ``policy.seed`` through
+  one ``random.Random``, so a fault schedule replays identically.
+
+The connector layer reacts with retry + exponential backoff (see
+``repro.connect.connector.RetryPolicy``); the delegation engine reacts
+with deploy-or-rollback; the annotator reacts by constraining the
+placement candidate set to reachable engines.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import (
+    EngineOutage,
+    FaultPolicy,
+    LinkFault,
+    ScriptedFault,
+)
+
+__all__ = [
+    "EngineOutage",
+    "FaultInjector",
+    "FaultPolicy",
+    "LinkFault",
+    "ScriptedFault",
+]

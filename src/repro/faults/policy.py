@@ -1,0 +1,95 @@
+"""Declarative fault policies.
+
+A policy is pure data: what to break, where, and how often.  The
+:class:`~repro.faults.injector.FaultInjector` interprets it against a
+deployment.  Operation tags match the connector's guarded call sites:
+``"metadata"``, ``"consult"``, ``"ddl"``, ``"query"``, ``"fetch"`` —
+``"*"`` matches any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+#: Guarded-operation tags a fault may target.
+OPERATIONS = ("metadata", "consult", "ddl", "query", "fetch")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A slow or partitioned network link between two *nodes*.
+
+    ``latency_factor``/``bandwidth_factor`` degrade the link (see
+    :meth:`Network.degrade_link`); ``partitioned=True`` cuts it
+    entirely until the injector is uninstalled (or the network healed).
+    """
+
+    src: str
+    dst: str
+    latency_factor: float = 1.0
+    bandwidth_factor: float = 1.0
+    partitioned: bool = False
+    symmetric: bool = True
+
+
+@dataclass(frozen=True)
+class EngineOutage:
+    """An engine-down window for one DBMS, measured in guarded calls.
+
+    The first ``after_calls`` guarded calls to the engine succeed; the
+    following ``duration_calls`` attempts fail with
+    :class:`EngineUnavailableError` (``None`` = the engine never comes
+    back while the injector is installed).
+    """
+
+    db: str
+    after_calls: int = 0
+    duration_calls: Optional[int] = None
+
+    def down_at(self, call_index: int) -> bool:
+        """Whether the ``call_index``-th (1-based) call hits the outage."""
+        if call_index <= self.after_calls:
+            return False
+        if self.duration_calls is None:
+            return True
+        return call_index <= self.after_calls + self.duration_calls
+
+
+@dataclass(frozen=True)
+class ScriptedFault:
+    """Fail exactly the Nth matching guarded call (one-shot, 1-based).
+
+    The regression-test primitive: *kill the Nth DDL statement* is
+    ``ScriptedFault(op="ddl", nth=N)``.  ``db=None`` matches any DBMS.
+    """
+
+    op: str = "*"
+    nth: int = 1
+    db: Optional[str] = None
+
+    def matches(self, db: str, op: str) -> bool:
+        return (self.db is None or self.db == db) and (
+            self.op == "*" or self.op == op
+        )
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Everything the injector needs, as data.
+
+    ``transient_error_rate`` is the per-guarded-call probability of an
+    injected :class:`TransientConnectorError`; ``error_rate_by_db``
+    overrides it per DBMS.  All draws come from ``random.Random(seed)``
+    in call order, so a policy replays deterministically.
+    """
+
+    seed: int = 0
+    transient_error_rate: float = 0.0
+    error_rate_by_db: Mapping[str, float] = field(default_factory=dict)
+    outages: Tuple[EngineOutage, ...] = ()
+    link_faults: Tuple[LinkFault, ...] = ()
+    scripted: Tuple[ScriptedFault, ...] = ()
+
+    def rate_for(self, db: str) -> float:
+        return float(self.error_rate_by_db.get(db, self.transient_error_rate))

@@ -4,15 +4,27 @@ The network never moves real bytes — engines run in-process — but every
 inter-DBMS fetch and every control message is recorded here, which is
 what the paper's data-transfer experiments (Fig. 1 shading, Fig. 14)
 measure, and what the schedule simulator uses to derive transfer times.
+Links can be transiently degraded or partitioned (fault injection);
+``metrics`` aggregates both the transfer ledger and the connectors'
+resilience counters.
 """
 
 from repro.net.network import LinkSpec, Network, TransferRecord
-from repro.net.metrics import TransferSummary, summarize
+from repro.net.metrics import (
+    ConnectorResilience,
+    ResilienceSummary,
+    TransferSummary,
+    summarize,
+    summarize_resilience,
+)
 
 __all__ = [
+    "ConnectorResilience",
     "LinkSpec",
     "Network",
+    "ResilienceSummary",
     "TransferRecord",
     "TransferSummary",
     "summarize",
+    "summarize_resilience",
 ]

@@ -1,9 +1,10 @@
-"""Aggregations over the network transfer ledger."""
+"""Aggregations over the network transfer ledger and the connectors'
+resilience counters (retries, failures, give-ups, backoff)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.net.network import Network, TransferRecord
 
@@ -56,6 +57,106 @@ def summarize(
             summary.by_edge.get(edge, 0) + record.payload_bytes
         )
     return summary
+
+
+# -- resilience counters ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConnectorResilience:
+    """One connector's retry/failure counters (a snapshot or a delta)."""
+
+    retries: int = 0
+    failures: int = 0
+    giveups: int = 0
+    backoff_seconds: float = 0.0
+
+    def __sub__(self, other: "ConnectorResilience") -> "ConnectorResilience":
+        return ConnectorResilience(
+            retries=self.retries - other.retries,
+            failures=self.failures - other.failures,
+            giveups=self.giveups - other.giveups,
+            backoff_seconds=self.backoff_seconds - other.backoff_seconds,
+        )
+
+
+@dataclass
+class ResilienceSummary:
+    """Per-connector and aggregate resilience counters for one window."""
+
+    by_connector: Dict[str, ConnectorResilience] = field(default_factory=dict)
+
+    @property
+    def retries(self) -> int:
+        return sum(c.retries for c in self.by_connector.values())
+
+    @property
+    def failures(self) -> int:
+        return sum(c.failures for c in self.by_connector.values())
+
+    @property
+    def giveups(self) -> int:
+        return sum(c.giveups for c in self.by_connector.values())
+
+    @property
+    def backoff_seconds(self) -> float:
+        return sum(c.backoff_seconds for c in self.by_connector.values())
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any fault was absorbed (or not) during the window."""
+        return self.failures > 0
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.retries} retries",
+            f"{self.failures} failures",
+            f"{self.giveups} give-ups",
+            f"{self.backoff_seconds:.3f}s backoff",
+        ]
+        noisy = {
+            name: c
+            for name, c in sorted(self.by_connector.items())
+            if c.failures or c.retries
+        }
+        if noisy:
+            per = ", ".join(
+                f"{name}: r={c.retries} f={c.failures}"
+                for name, c in noisy.items()
+            )
+            parts.append(f"({per})")
+        return " ".join(parts)
+
+
+def snapshot_resilience(
+    connectors: Mapping[str, "object"],
+) -> Dict[str, ConnectorResilience]:
+    """Capture every connector's current counters (for later deltas)."""
+    return {
+        name: ConnectorResilience(
+            retries=connector.retries,
+            failures=connector.failures,
+            giveups=connector.giveups,
+            backoff_seconds=connector.backoff_seconds,
+        )
+        for name, connector in connectors.items()
+    }
+
+
+def summarize_resilience(
+    connectors: Mapping[str, "object"],
+    baseline: Optional[Dict[str, ConnectorResilience]] = None,
+) -> ResilienceSummary:
+    """Aggregate counters, optionally as a delta against ``baseline``."""
+    current = snapshot_resilience(connectors)
+    if baseline:
+        current = {
+            name: counters - baseline[name]
+            if name in baseline
+            else counters
+            for name, counters in current.items()
+        }
+    return ResilienceSummary(by_connector=current)
 
 
 def edge_rows(records: Iterable[TransferRecord]) -> Dict[Tuple[str, str], int]:

@@ -13,10 +13,10 @@ the paper's environments:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, NetworkPartitionedError
 
 #: 1 Gbit/s expressed in bytes per (simulated) second.
 GBIT = 125_000_000.0
@@ -78,6 +78,11 @@ class Network:
         self._pair_links: Dict[Tuple[str, str], LinkSpec] = {}
         self._site_links: Dict[Tuple[str, str], LinkSpec] = {}
         self._forbidden: set = set()
+        #: transiently unreachable links (fault injection); heal-able,
+        #: unlike ``_forbidden`` which is a permanent topology constraint
+        self._partitioned: set = set()
+        #: (src, dst) -> (latency multiplier, bandwidth multiplier)
+        self._degraded: Dict[Tuple[str, str], Tuple[float, float]] = {}
         self._default_link = LAN
         self.log: List[TransferRecord] = []
 
@@ -110,6 +115,17 @@ class Network:
     def link_for(self, src: str, dst: str) -> LinkSpec:
         if src == dst:
             return LOOPBACK
+        spec = self._base_link_for(src, dst)
+        factors = self._degraded.get((src, dst))
+        if factors is not None:
+            latency_factor, bandwidth_factor = factors
+            spec = LinkSpec(
+                bandwidth=spec.bandwidth * bandwidth_factor,
+                latency=spec.latency * latency_factor,
+            )
+        return spec
+
+    def _base_link_for(self, src: str, dst: str) -> LinkSpec:
         pair = self._pair_links.get((src, dst))
         if pair is not None:
             return pair
@@ -143,7 +159,63 @@ class Network:
 
     def is_reachable(self, src: str, dst: str) -> bool:
         """Whether ``src`` may transfer data directly to ``dst``."""
-        return src == dst or (src, dst) not in self._forbidden
+        if src == dst:
+            return True
+        return (
+            (src, dst) not in self._forbidden
+            and (src, dst) not in self._partitioned
+        )
+
+    # -- fault injection (degraded / partitioned links) -----------------
+
+    def degrade_link(
+        self,
+        src: str,
+        dst: str,
+        latency_factor: float = 1.0,
+        bandwidth_factor: float = 1.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Slow a link: multiply its latency, scale its bandwidth.
+
+        ``latency_factor > 1`` and ``bandwidth_factor < 1`` model a
+        congested or flapping link; the connector layer's per-call
+        timeout budget turns an extreme degradation into
+        :class:`ConnectorTimeoutError`.
+        """
+        self.node_site(src), self.node_site(dst)  # validate nodes
+        self._degraded[(src, dst)] = (latency_factor, bandwidth_factor)
+        if symmetric:
+            self._degraded[(dst, src)] = (latency_factor, bandwidth_factor)
+
+    def restore_link(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Remove a degradation installed by :meth:`degrade_link`."""
+        self._degraded.pop((src, dst), None)
+        if symmetric:
+            self._degraded.pop((dst, src), None)
+
+    def partition_link(
+        self, src: str, dst: str, symmetric: bool = True
+    ) -> None:
+        """Transiently cut a link; transfers raise until it heals."""
+        self.node_site(src), self.node_site(dst)  # validate nodes
+        self._partitioned.add((src, dst))
+        if symmetric:
+            self._partitioned.add((dst, src))
+
+    def heal_link(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Heal a partition installed by :meth:`partition_link`."""
+        self._partitioned.discard((src, dst))
+        if symmetric:
+            self._partitioned.discard((dst, src))
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        return src != dst and (src, dst) in self._partitioned
+
+    def clear_faults(self) -> None:
+        """Heal every partition and restore every degraded link."""
+        self._partitioned.clear()
+        self._degraded.clear()
 
     # -- accounting -------------------------------------------------------------
 
@@ -159,6 +231,10 @@ class Network:
         if src not in self._nodes or dst not in self._nodes:
             raise NetworkError(
                 f"transfer between unknown nodes {src!r} -> {dst!r}"
+            )
+        if self.is_partitioned(src, dst):
+            raise NetworkPartitionedError(
+                f"link {src!r} -> {dst!r} is partitioned"
             )
         if not self.is_reachable(src, dst):
             raise NetworkError(

@@ -16,12 +16,11 @@ from __future__ import annotations
 import datetime
 import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import BindError, ExecutionError, TypeCheckError
 from repro.sql import ast
 from repro.sql.types import (
-    BIGINT,
     BOOLEAN,
     DATE,
     DOUBLE,

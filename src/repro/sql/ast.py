@@ -375,11 +375,17 @@ class CreateTable(Statement):
 
 @dataclass(frozen=True)
 class CreateTableAs(Statement):
-    """``CREATE [TEMPORARY] TABLE name AS query``."""
+    """``CREATE [OR REPLACE] [TEMPORARY] TABLE name AS query``.
+
+    ``or_replace`` powers transactional re-materialization: the engine
+    computes the fresh result *before* swapping it in, so a failing
+    defining query leaves the previous snapshot intact.
+    """
 
     name: str
     query: Select
     temporary: bool = False
+    or_replace: bool = False
 
 
 @dataclass(frozen=True)

@@ -170,17 +170,23 @@ class Parser:
             or_replace = True
         if self._accept_keyword("VIEW"):
             return self._create_view(or_replace)
-        if or_replace:
-            raise self._error("OR REPLACE is only supported for views")
         if self._accept_keyword("FOREIGN"):
+            if or_replace:
+                raise self._error(
+                    "OR REPLACE is only supported for views and CTAS"
+                )
             self._expect_keyword("TABLE")
             return self._create_foreign_table_postgres()
         if self._accept_keyword("EXTERNAL"):
+            if or_replace:
+                raise self._error(
+                    "OR REPLACE is only supported for views and CTAS"
+                )
             self._expect_keyword("TABLE")
             return self._create_foreign_table_hive()
         temporary = bool(self._accept_keyword("TEMPORARY"))
         self._expect_keyword("TABLE")
-        return self._create_table(temporary)
+        return self._create_table(temporary, or_replace)
 
     def _create_view(self, or_replace: bool) -> ast.CreateView:
         name = self._identifier("view name")
@@ -265,11 +271,20 @@ class Parser:
             syntax="hive",
         )
 
-    def _create_table(self, temporary: bool) -> ast.Statement:
+    def _create_table(
+        self, temporary: bool, or_replace: bool = False
+    ) -> ast.Statement:
         name = self._identifier("table name")
         if self._accept_keyword("AS"):
             return ast.CreateTableAs(
-                name=name, query=self._query(), temporary=temporary
+                name=name,
+                query=self._query(),
+                temporary=temporary,
+                or_replace=or_replace,
+            )
+        if or_replace:
+            raise self._error(
+                "OR REPLACE is only supported for views and CTAS"
             )
         columns = self._column_defs()
         # MariaDB federated-table surface:

@@ -283,9 +283,10 @@ class Renderer:
         )
 
     def _stmt_CreateTableAs(self, stmt: ast.CreateTableAs) -> str:
+        replace = "OR REPLACE " if stmt.or_replace else ""
         temp = "TEMPORARY " if stmt.temporary else ""
         return (
-            f"CREATE {temp}TABLE {self.identifier(stmt.name)} "
+            f"CREATE {replace}{temp}TABLE {self.identifier(stmt.name)} "
             f"AS {self.statement(stmt.query)}"
         )
 

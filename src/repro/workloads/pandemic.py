@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import datetime
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.federation.deployment import Deployment
 from repro.relational.schema import Field, Schema
