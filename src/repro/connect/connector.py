@@ -20,6 +20,7 @@ Responsibilities (paper §III–§V):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, TypeVar
 
@@ -28,11 +29,15 @@ from repro.engine.fdw import PROTOCOL_FACTORS
 from repro.engine.result import Result
 from repro.engine.stats import TableStats
 from repro.errors import (
+    CircuitOpenError,
     ConnectorError,
     ConnectorTimeoutError,
+    EngineUnavailableError,
+    NetworkError,
     NetworkPartitionedError,
     TransientConnectorError,
 )
+from repro.health import HealthRegistry
 from repro.net.network import CONTROL_MESSAGE_BYTES, Network
 from repro.relational.schema import Schema
 from repro.sql import ast
@@ -49,9 +54,13 @@ class RetryPolicy:
     """Retry/backoff/timeout configuration for one connector.
 
     Backoff is exponential — ``base_backoff_seconds * multiplier**k``,
-    capped at ``max_backoff_seconds`` — and accrues in *simulated*
-    seconds (the connector's ``backoff_seconds`` counter), so phase
-    breakdowns price retries without real sleeps.
+    capped at ``max_backoff_seconds``, then jittered ±``jitter_ratio``
+    from the connector's seeded RNG so concurrent callers hitting the
+    same degraded link do not back off in lockstep (no thundering herd
+    on retry) — and accrues in *simulated* seconds (the connector's
+    ``backoff_seconds`` counter), so phase breakdowns price retries
+    without real sleeps.  The jitter RNG is seeded per connector name,
+    so two identically-seeded runs accrue identical backoff.
     ``call_timeout_seconds`` is the per-call budget: a control round
     trip whose simulated time would exceed it raises
     :class:`ConnectorTimeoutError` (retryable — the link may recover).
@@ -62,13 +71,23 @@ class RetryPolicy:
     backoff_multiplier: float = 2.0
     max_backoff_seconds: float = 2.0
     call_timeout_seconds: Optional[float] = 30.0
+    jitter_ratio: float = 0.5
 
-    def backoff_for(self, attempt: int) -> float:
-        """Backoff after the ``attempt``-th (1-based) failed attempt."""
+    def backoff_for(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Backoff after the ``attempt``-th (1-based) failed attempt.
+
+        Without ``rng`` the value is the pure capped exponential; with
+        ``rng`` it is jittered uniformly in ``±jitter_ratio`` of that.
+        """
         raw = self.base_backoff_seconds * (
             self.backoff_multiplier ** (attempt - 1)
         )
-        return min(raw, self.max_backoff_seconds)
+        capped = min(raw, self.max_backoff_seconds)
+        if rng is not None and self.jitter_ratio > 0.0:
+            capped *= 1.0 + self.jitter_ratio * (2.0 * rng.random() - 1.0)
+        return capped
 
 
 @dataclass(frozen=True)
@@ -103,6 +122,11 @@ class DBMSConnector:
         #: production — the guard path then adds no overhead beyond a
         #: timeout precheck
         self.fault_injector = None
+        #: shared circuit-breaker registry (see :mod:`repro.health`);
+        #: ``None`` disables breaker gating entirely
+        self.health: Optional[HealthRegistry] = None
+        #: per-connector seeded RNG for deterministic backoff jitter
+        self._backoff_rng = random.Random(f"backoff:{database.name}")
         #: EXPLAIN consulting round-trips (paper's ann-phase metric)
         self.consultations = 0
         #: delegation / metadata control messages
@@ -113,6 +137,8 @@ class DBMSConnector:
         self.failures = 0
         #: calls abandoned after exhausting ``retry_policy.max_attempts``
         self.giveups = 0
+        #: calls rejected instantly by an open circuit breaker
+        self.breaker_fastfails = 0
         #: simulated seconds spent backing off between attempts
         self.backoff_seconds = 0.0
 
@@ -134,20 +160,34 @@ class DBMSConnector:
         self.retries = 0
         self.failures = 0
         self.giveups = 0
+        self.breaker_fastfails = 0
         self.backoff_seconds = 0.0
 
     # -- resilience -------------------------------------------------------------
 
     def _guarded(self, op: str, fn: Callable[[], T]) -> T:
-        """Run ``fn`` with fault injection, timeout, and retry/backoff.
+        """Run ``fn`` with breaker gating, faults, timeout, and retry.
 
-        The loop retries :data:`RETRYABLE_ERRORS` up to
-        ``retry_policy.max_attempts`` total attempts, accruing
-        exponential backoff into ``backoff_seconds`` (simulated time —
-        no real sleeping).  Non-retryable errors, e.g. an engine
-        outage, propagate immediately so callers can re-plan.
+        An open circuit breaker fails the call fast with
+        :class:`CircuitOpenError` before the retry loop or the fault
+        injector sees it — the federation already knows the engine is
+        down.  Otherwise the loop retries :data:`RETRYABLE_ERRORS` up
+        to ``retry_policy.max_attempts`` total attempts, accruing
+        jittered exponential backoff into ``backoff_seconds``
+        (simulated time — no real sleeping).  Non-retryable errors,
+        e.g. an engine outage, propagate immediately so callers can
+        re-plan; every call outcome is reported to the health registry
+        so breakers trip on failure streaks and close on recovery.
         """
         policy = self.retry_policy
+        registry = self.health
+        if registry is not None and not registry.allow(self.name):
+            self.breaker_fastfails += 1
+            raise CircuitOpenError(
+                f"circuit breaker for DBMS {self.name!r} is open; "
+                f"failing {op!r} fast until the cool-down elapses",
+                db=self.name,
+            )
         attempt = 0
         while True:
             attempt += 1
@@ -155,14 +195,32 @@ class DBMSConnector:
                 if self.fault_injector is not None:
                     self.fault_injector.before_call(self.name, op)
                 self._check_timeout(op)
-                return fn()
+                result = fn()
             except RETRYABLE_ERRORS:
                 self.failures += 1
                 if attempt >= policy.max_attempts:
                     self.giveups += 1
+                    if registry is not None:
+                        registry.record_failure(
+                            self.name, f"retry budget exhausted ({op})"
+                        )
                     raise
                 self.retries += 1
-                self.backoff_seconds += policy.backoff_for(attempt)
+                self.backoff_seconds += policy.backoff_for(
+                    attempt, rng=self._backoff_rng
+                )
+            except EngineUnavailableError as exc:
+                if exc.db is None:
+                    exc.db = self.name
+                if registry is not None:
+                    registry.record_failure(
+                        self.name, f"engine unavailable ({op})"
+                    )
+                raise
+            else:
+                if registry is not None:
+                    registry.record_success(self.name)
+                return result
 
     def _check_timeout(self, op: str) -> None:
         """Enforce the per-call budget against the current link state.
@@ -185,13 +243,28 @@ class DBMSConnector:
             )
 
     def is_available(self) -> bool:
-        """Probe reachability without consuming the fault schedule.
+        """Placement-time health check, circuit-breaker aware.
 
         Used by the annotator's degradation-aware placement: an engine
         that is down, partitioned away from the middleware, or behind a
         link too slow for the call budget is excluded from the
         candidate set ``A`` (§IV-B2 topology-constraint machinery).
+
+        With a health registry attached, an *open* breaker answers
+        ``False`` instantly — no per-query re-probing of a known-dead
+        engine.  Once the simulated-clock cool-down elapses the check
+        becomes the half-open probe: one real control round trip (it
+        consumes the fault schedule like any call) that re-admits the
+        engine on success and re-opens the breaker on failure.
+        Without a registry (or while the breaker is closed) the checks
+        below are pure probes that consume nothing.
         """
+        if self.health is not None:
+            gate = self.health.gate(self.name)
+            if gate == "blocked":
+                return False
+            if gate == "probe":
+                return self._half_open_probe()
         if self.fault_injector is not None and self.fault_injector.engine_down(
             self.name
         ):
@@ -202,6 +275,31 @@ class DBMSConnector:
             self._check_timeout("probe")
         except ConnectorTimeoutError:
             return False
+        return True
+
+    def _half_open_probe(self) -> bool:
+        """One real probe through a half-open breaker.
+
+        Unlike the closed-state availability checks this is a genuine
+        call: it consumes the fault injector's schedule and counts a
+        control round trip, because the whole point is to test whether
+        the engine answers again.  Success closes the breaker
+        (re-admission), any failure re-opens it for another cool-down.
+        """
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.before_call(self.name, "probe")
+            if self.network.is_partitioned(self.middleware_node, self.node):
+                raise NetworkPartitionedError(
+                    f"probe: link {self.middleware_node} <-> {self.node} "
+                    "is partitioned"
+                )
+            self._check_timeout("probe")
+        except (ConnectorError, NetworkError):
+            self.health.record_failure(self.name, "half-open probe failed")
+            return False
+        self._control("probe")
+        self.health.record_success(self.name)
         return True
 
     # -- metadata ---------------------------------------------------------------
@@ -236,7 +334,11 @@ class DBMSConnector:
         return self._guarded("metadata", call)
 
     def table_rows(self, name: str) -> float:
-        stats = self.database.table_stats(name)
+        # Routed through the guarded metadata path (table_stats), so
+        # fault injection, breaker gating, and control-message
+        # accounting all see it — previously the one connector path
+        # faults could not reach.
+        stats = self.table_stats(name)
         if stats is None:
             raise ConnectorError(
                 f"no statistics for table {name!r} on {self.name}"
@@ -327,7 +429,13 @@ class DBMSConnector:
     # -- execution / data movement ----------------------------------------------------
 
     def run_query(self, query: ast.Select, client_node: str) -> Result:
-        """Run a final query; the result travels DBMS → client."""
+        """Run a final query; the result travels DBMS → client.
+
+        Failure accounting: the transfer is recorded only after the
+        remote execution succeeds (same ordering as :meth:`fetch` and
+        :meth:`push_rows`) — a failed call must not inflate the
+        ledger with bytes that never moved.
+        """
 
         def call() -> Result:
             result = self.database.execute_select(query)
@@ -371,9 +479,15 @@ class DBMSConnector:
         rows: List[tuple],
         tag: str = "mediator-ship",
     ) -> None:
-        """Ship rows from the middleware into a (temp) table (MW path)."""
+        """Ship rows from the middleware into a (temp) table (MW path).
+
+        The transfer is recorded only *after* the table lands: an
+        engine outage between shipping and creating must not credit
+        ``net.metrics`` with bytes that never arrived.
+        """
 
         def call() -> None:
+            self.database.create_table(table_name, schema, rows, replace=True)
             self.network.record_transfer(
                 src=self.middleware_node,
                 dst=self.node,
@@ -386,6 +500,5 @@ class DBMSConnector:
                 tag=tag,
                 protocol=self.protocol,
             )
-            self.database.create_table(table_name, schema, rows, replace=True)
 
         return self._guarded("fetch", call)

@@ -149,14 +149,9 @@ class PlanAnnotator:
         children = node.children()
 
         if isinstance(node, algebra.Scan):
-            if node.source_db is None:
-                raise OptimizerError(
-                    f"scan of {node.table!r} lacks a source DBMS "
-                    "(Rule 1 needs the global catalog annotation)"
-                )
-            self._require_data_holder(node)
-            annotation.bind_node(node, node.source_db)
-            return node.source_db
+            db = self._place_scan(node)
+            annotation.bind_node(node, db)
+            return db
 
         if len(children) == 1:
             child_db = self._visit(children[0], annotation)
@@ -180,23 +175,57 @@ class PlanAnnotator:
             f"{len(children)} children"
         )
 
-    # -- degradation-aware placement -----------------------------------
+    # -- degradation-aware placement (replica-aware Rule 1) -------------
 
-    def _require_data_holder(self, scan: algebra.Scan) -> None:
-        """A dead *data-holding* DBMS is unrecoverable — say so clearly.
+    def _place_scan(self, scan: algebra.Scan) -> str:
+        """Rule 1 over replicas: the cheapest *healthy* holder wins.
 
-        Placement can route around an unreachable candidate (the set
-        ``A`` shrinks), but a scan's source holds the data: without it
-        the query has no answer, so raise a diagnostic instead of
-        letting a connector error surface as a stack trace later.
+        Un-replicated tables keep the old behavior — the single holder
+        is mandatory, and a dead data-holding DBMS is unrecoverable, so
+        raise a clear diagnostic instead of letting a connector error
+        surface as a stack trace later.  For a replicated table every
+        healthy holder is a candidate; the cheapest one (by calibrated
+        sequential-scan cost at the holder's engine profile) is chosen,
+        with the holder name as a deterministic tie-break.  ``db=None``
+        on the raised error marks the condition unrepairable: there is
+        no surviving replica to re-plan onto.
         """
-        connector = self._connectors.get(scan.source_db)
-        if connector is not None and not connector.is_available():
-            raise EngineUnavailableError(
-                f"DBMS {scan.source_db!r} holding table {scan.table!r} "
-                "is unreachable; the query cannot be answered until it "
-                "recovers"
+        holders = list(scan.replica_dbs) or (
+            [scan.source_db] if scan.source_db else []
+        )
+        if not holders:
+            raise OptimizerError(
+                f"scan of {scan.table!r} lacks a source DBMS "
+                "(Rule 1 needs the global catalog annotation)"
             )
+        healthy = [db for db in holders if self._available(db)]
+        if not healthy:
+            raise EngineUnavailableError(
+                f"DBMS {holders} holding table {scan.table!r} "
+                "is unreachable; the query cannot be answered until "
+                "a holder recovers"
+                if len(holders) == 1
+                else f"every holder {holders} of replicated table "
+                f"{scan.table!r} is unreachable; the query cannot be "
+                "answered until one recovers"
+            )
+        if len(healthy) == 1:
+            return healthy[0]
+        rows = scan.estimated_rows or 1000.0
+
+        def scan_cost(db: str) -> Tuple[float, str]:
+            connector = self._connectors.get(db)
+            if connector is None:
+                return (float("inf"), db)
+            profile = connector.profile
+            return (
+                profile.cost_to_seconds(
+                    rows * profile.seq_scan_cost_per_row
+                ),
+                db,
+            )
+
+        return min(healthy, key=scan_cost)
 
     def _available(self, db: str) -> bool:
         connector = self._connectors.get(db)

@@ -60,13 +60,43 @@ class GlobalCatalog(TableResolver):
 
     # -- lookup -------------------------------------------------------------------
 
-    def locate(self, table: str) -> str:
-        """The (unique) DBMS hosting an unqualified table name."""
+    def holders(self, table: str) -> List[str]:
+        """Every DBMS exposing ``table``, in registration order."""
         self._ensure_loaded()
-        locations = self._locations.get(table.lower())
+        return list(self._locations.get(table.lower(), []))
+
+    def is_replicated(self, table: str) -> bool:
+        """Whether ``table`` is held by more than one DBMS as replicas.
+
+        Multiple holders count as replicas only when every copy has an
+        identical schema; same-named tables with *different* schemas
+        remain ambiguous (the user must qualify them as ``db.table``).
+        """
+        self._ensure_loaded()
+        return self._replicated(table.lower())
+
+    def _replicated(self, key: str) -> bool:
+        locations = self._locations.get(key, [])
+        if len(locations) < 2:
+            return False
+        first = self._schemas[(locations[0], key)]
+        return all(
+            self._schemas[(db, key)] == first for db in locations[1:]
+        )
+
+    def locate(self, table: str) -> str:
+        """The primary DBMS hosting an unqualified table name.
+
+        For a replicated table this is the first registered holder (the
+        annotator may still place the scan on any healthy replica);
+        same-named tables with diverging schemas stay ambiguous.
+        """
+        self._ensure_loaded()
+        key = table.lower()
+        locations = self._locations.get(key)
         if not locations:
             raise CatalogError(f"unknown table {table!r} in the federation")
-        if len(locations) > 1:
+        if len(locations) > 1 and not self._replicated(key):
             raise CatalogError(
                 f"table {table!r} exists on multiple DBMSes "
                 f"({', '.join(locations)}); qualify it as db.table"
@@ -93,19 +123,24 @@ class GlobalCatalog(TableResolver):
 
     def resolve_table(self, parts: Tuple[str, ...]) -> ResolvedTable:
         self._ensure_loaded()
+        replicas: Tuple[str, ...] = ()
         if len(parts) == 2:
+            # Qualified names pin the holder: the user chose a replica.
             db, table = parts
             if db not in self._connectors:
                 raise CatalogError(f"unknown DBMS {db!r} in {db}.{table}")
         elif len(parts) == 1:
             table = parts[0]
             db = self.locate(table)
+            if self._replicated(table.lower()):
+                replicas = tuple(self._locations[table.lower()])
         else:
             raise CatalogError(f"invalid table name {'.'.join(parts)!r}")
         return ResolvedTable(
             table=table,
             schema=self.schema_of(db, table),
             source_db=db,
+            replica_dbs=replicas,
         )
 
     # -- statistics provider for the global estimator ------------------------------------

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.annotate import Annotation, PlanAnnotator
 from repro.core.catalog import GlobalCatalog
@@ -29,8 +29,14 @@ from repro.core.timing import (
     simulate_schedule,
 )
 from repro.engine.result import Result
-from repro.errors import OptimizerError
+from repro.errors import (
+    DelegationError,
+    EngineUnavailableError,
+    OptimizerError,
+    ReproError,
+)
 from repro.federation.deployment import Deployment
+from repro.health import BreakerEvent
 from repro.net.metrics import (
     ResilienceSummary,
     TransferSummary,
@@ -40,6 +46,58 @@ from repro.net.metrics import (
 )
 from repro.sql import ast
 from repro.sql.parser import parse_statement
+
+
+@dataclass
+class RecoveryReport:
+    """What the self-healing layer did for one submission.
+
+    Present on every report; :attr:`repaired` distinguishes the common
+    untouched case from submissions the plan-repair loop had to
+    re-annotate around an engine outage.
+    """
+
+    #: how many times the repair loop re-planned (0 = no repair needed)
+    repair_attempts: int = 0
+    #: DBMSes reported to the health registry as down, in repair order
+    repaired_dbs: List[str] = field(default_factory=list)
+    #: simulated + CPU seconds spent from first failure to repaired run
+    repair_seconds: float = 0.0
+    #: circuit-breaker transitions recorded during this submission
+    breaker_transitions: List[BreakerEvent] = field(default_factory=list)
+    #: where each base table's scan ran in the first finalized plan
+    #: (table → DBMS) — keyed by table, not task, because a repaired
+    #: plan may group operators into different tasks entirely
+    placement_before: Dict[str, str] = field(default_factory=dict)
+    #: scan placement of the plan that actually produced the result
+    placement: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def repaired(self) -> bool:
+        return self.repair_attempts > 0
+
+    def placement_diff(self) -> Dict[str, Tuple[str, str]]:
+        """Tables whose scan moved: table → (old DBMS, new DBMS)."""
+        diff: Dict[str, Tuple[str, str]] = {}
+        for table, db in self.placement.items():
+            before = self.placement_before.get(table)
+            if before is not None and before != db:
+                diff[table] = (before, db)
+        return diff
+
+    def describe(self) -> str:
+        if not self.repaired:
+            return "no repair needed"
+        moved = ", ".join(
+            f"{table}: {old}→{new}"
+            for table, (old, new) in sorted(self.placement_diff().items())
+        )
+        return (
+            f"{self.repair_attempts} repair(s) around "
+            f"{sorted(set(self.repaired_dbs))} in "
+            f"{self.repair_seconds:.3f}s"
+            + (f"; moved {moved}" if moved else "")
+        )
 
 
 @dataclass
@@ -59,6 +117,9 @@ class XDBReport:
     consultations: int = 0
     #: per-connector retry/failure counters for this submission
     resilience: Optional[ResilienceSummary] = None
+    #: plan-repair activity (None for prepared-query re-executions,
+    #: which re-run a frozen deployment instead of re-planning)
+    recovery: Optional[RecoveryReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -94,6 +155,8 @@ class XDBReport:
             )
         if self.resilience is not None and self.resilience.degraded:
             lines.append(f"resilience: {self.resilience.describe()}")
+        if self.recovery is not None and self.recovery.repaired:
+            lines.append(f"recovery: {self.recovery.describe()}")
         return "\n".join(lines)
 
 
@@ -106,6 +169,7 @@ class XDB:
         movement_policy: str = "cost",
         prune_candidates: bool = True,
         plan_shape: str = "left-deep",
+        repair_budget: int = 2,
     ):
         """Create the middleware over ``deployment``.
 
@@ -114,8 +178,12 @@ class XDB:
         ``prune_candidates`` (Rule 4's two-candidate pruning), and
         ``plan_shape`` ("left-deep" per the paper, or "bushy" — the
         paper's future-work extension, §IV-B footnote 5).
+        ``repair_budget`` bounds the self-healing plan-repair loop:
+        how many times one submission may re-plan around an engine
+        outage before the failure propagates (0 disables repair).
         """
         self.deployment = deployment
+        self.repair_budget = repair_budget
         self.connectors = deployment.connectors
         self.catalog = GlobalCatalog(self.connectors)
         self.optimizer = LogicalOptimizer(self.catalog, plan_shape=plan_shape)
@@ -137,10 +205,25 @@ class XDB:
         cleanup: bool = True,
         refresh_metadata: bool = False,
     ) -> XDBReport:
-        """Run a cross-database query end to end and report everything."""
+        """Run a cross-database query end to end and report everything.
+
+        Self-healing: when a DBMS turns out to be unavailable during
+        annotation-time consultation, delegation, or execution, the
+        outage is reported to the deployment's health registry (the
+        breaker trips, so subsequent calls fail fast), any partially
+        deployed objects are cleaned up best-effort, and the cached
+        logical plan is re-annotated — replicated tables route to a
+        surviving holder — then re-delegated and re-executed.  The loop
+        is bounded by ``repair_budget``; unrepairable outages (the only
+        holder of a table is down) propagate immediately.
+        """
         network = self.deployment.network
         ledger = network.log
+        health = self.deployment.health
         resilience_base = snapshot_resilience(self.connectors)
+        events_mark = len(health.events)
+        recovery = RecoveryReport()
+        budget = self.repair_budget
 
         # --- prep: parse + gather metadata through the connectors -------
         mark = len(ledger)
@@ -167,8 +250,22 @@ class XDB:
         mark = len(ledger)
         backoff_mark = self._total_backoff()
         cpu_start = time.perf_counter()
-        annotation = self.annotator.annotate(logical_plan)
-        dplan = self.finalizer.finalize(logical_plan, annotation)
+        while True:
+            try:
+                annotation = self.annotator.annotate(logical_plan)
+                dplan = self.finalizer.finalize(logical_plan, annotation)
+                break
+            except EngineUnavailableError as exc:
+                db = self._unavailable_db(exc)
+                if db is None or budget <= 0:
+                    raise
+                budget -= 1
+                recovery.repair_attempts += 1
+                recovery.repaired_dbs.append(db)
+                health.report_outage(
+                    db, "annotation-time consultation failed"
+                )
+        recovery.placement_before = self._placement(dplan)
         ann_seconds = self._phase_seconds(
             cpu_start, ledger, mark, backoff_mark
         )
@@ -177,11 +274,56 @@ class XDB:
         mark = len(ledger)
         backoff_mark = self._total_backoff()
         cpu_start = time.perf_counter()
-        deployed = self.delegator.delegate(dplan)
-        root_connector = self.connectors[deployed.root_db]
-        result = root_connector.run_query(
-            deployed.xdb_query, self.deployment.client_node
-        )
+        repair_start: Optional[Tuple[float, int, float]] = None
+        while True:
+            deployed = None
+            try:
+                if dplan is None:
+                    # Re-plan around the outage: the annotator now sees
+                    # the open breaker, so replicated tables land on a
+                    # healthy holder and Rule 4 drops the dead candidate.
+                    annotation = self.annotator.annotate(logical_plan)
+                    dplan = self.finalizer.finalize(
+                        logical_plan, annotation
+                    )
+                deployed = self.delegator.delegate(dplan)
+                root_connector = self.connectors[deployed.root_db]
+                result = root_connector.run_query(
+                    deployed.xdb_query, self.deployment.client_node
+                )
+                break
+            except (EngineUnavailableError, DelegationError) as exc:
+                db = self._unavailable_db(exc)
+                if db is None or budget <= 0:
+                    raise
+                budget -= 1
+                recovery.repair_attempts += 1
+                recovery.repaired_dbs.append(db)
+                if repair_start is None:
+                    repair_start = (
+                        time.perf_counter(),
+                        len(ledger),
+                        self._total_backoff(),
+                    )
+                # Trip the breaker FIRST so the best-effort cleanup of
+                # the partial deployment fails fast on the dead engine
+                # instead of burning its retry budget per object.
+                health.report_outage(db, "execution failed")
+                if deployed is not None:
+                    try:
+                        deployed.cleanup()
+                    except ReproError:
+                        pass
+                dplan = None
+        if repair_start is not None:
+            repair_cpu, repair_mark, repair_backoff = repair_start
+            recovery.repair_seconds = (
+                (time.perf_counter() - repair_cpu)
+                + sum(r.seconds for r in ledger[repair_mark:])
+                + (self._total_backoff() - repair_backoff)
+            )
+        recovery.placement = self._placement(dplan)
+        recovery.breaker_transitions = list(health.events[events_mark:])
         exec_window = ledger[mark:]
         attribute_edge_stats(deployed, exec_window)
         schedule = simulate_schedule(
@@ -194,11 +336,12 @@ class XDB:
         control_seconds = sum(
             record.seconds
             for record in exec_window
-            if record.tag in ("delegation", "control")
+            if record.tag in ("delegation", "control", "consult", "probe")
         )
         del cpu_start  # middleware CPU during exec is not on the critical
         # path (the DBMSes run decentrally); control messages are, and
-        # so is simulated retry backoff spent on the DDL cascade.
+        # so are simulated retry backoff spent on the DDL cascade and
+        # any repair-time re-consultations.
         exec_seconds = (
             schedule.total_seconds
             + control_seconds
@@ -224,6 +367,7 @@ class XDB:
             transfers=transfers,
             consultations=annotation.consultations,
             resilience=summarize_resilience(self.connectors, resilience_base),
+            recovery=recovery,
         )
 
     def explain(self, query: Union[str, ast.Select]) -> str:
@@ -289,6 +433,44 @@ class XDB:
                 "XDB accepts analytical SELECT / UNION ALL queries only"
             )
         return statement
+
+    @staticmethod
+    def _placement(dplan: DelegationPlan) -> Dict[str, str]:
+        """Base table → DBMS map for the recovery placement diff.
+
+        Keyed by scanned table rather than task: a repaired plan may
+        merge or split tasks (co-location changes when a replica holder
+        takes over), so task identities do not survive re-planning but
+        table names do.
+        """
+        placement: Dict[str, str] = {}
+        for task in dplan.tasks.values():
+            for scan in task.expr.leaves():
+                if not scan.placeholder:
+                    placement[scan.table] = task.annotation
+        return placement
+
+    @staticmethod
+    def _unavailable_db(exc: BaseException) -> Optional[str]:
+        """Which DBMS an outage exception blames, if repairable.
+
+        Walks the ``__cause__``/``__context__`` chain for an
+        :class:`EngineUnavailableError` carrying a DBMS name (a
+        :class:`DelegationError` wraps the original connector error).
+        Returns None for unrepairable failures: an
+        ``EngineUnavailableError`` with ``db=None`` means every holder
+        of some table is down, and a failure with *no* engine-outage in
+        its chain (e.g. a transient fault that exhausted the retry
+        budget) is not an outage — re-planning cannot help either way.
+        """
+        seen = set()
+        node: Optional[BaseException] = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(node, EngineUnavailableError):
+                return node.db
+            node = node.__cause__ or node.__context__
+        return None
 
     def _total_backoff(self) -> float:
         """Simulated retry-backoff seconds accrued across connectors."""

@@ -29,9 +29,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import EngineUnavailableError, ReproError
 
 from repro.connect.connector import DBMSConnector
 from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
@@ -139,7 +139,13 @@ class DelegationEngine:
                 materializations,
             )
         except ReproError as exc:
-            rolled_back, leaked = self._rollback(created)
+            # When the cause is a dead engine, don't try to DROP the
+            # objects created on it — every attempt would fail (or burn
+            # the retry budget); mark them leaked for a later cleanup.
+            dead_db = (
+                exc.db if isinstance(exc, EngineUnavailableError) else None
+            )
+            rolled_back, leaked = self._rollback(created, skip_db=dead_db)
             failed_db = ddl_log[-1][0] if ddl_log else None
             message = (
                 f"delegation failed after {len(ddl_log)} DDL "
@@ -172,20 +178,23 @@ class DelegationEngine:
         )
 
     def _rollback(
-        self, created: List[Tuple[str, str, str]]
+        self,
+        created: List[Tuple[str, str, str]],
+        skip_db: Optional[str] = None,
     ) -> Tuple[List[Tuple[str, str, str]], List[Tuple[str, str, str]]]:
         """Drop partially created objects, newest first (best effort).
 
         Returns ``(rolled_back, leaked)`` — drops go through the
         connectors' retry layer, so transient faults during rollback
         are absorbed; an object is only reported leaked when its DROP
-        exhausts the retry budget.
+        exhausts the retry budget.  Objects on ``skip_db`` (an engine
+        known to be down) are marked leaked without a drop attempt.
         """
         rolled_back: List[Tuple[str, str, str]] = []
         leaked: List[Tuple[str, str, str]] = []
         for db, kind, name in reversed(created):
             connector = self._connectors.get(db)
-            if connector is None:
+            if connector is None or db == skip_db:
                 leaked.append((db, kind, name))
                 continue
             try:

@@ -68,7 +68,26 @@ class EngineUnavailableError(ConnectorError):
 
     Not retryable: an outage outlives a backoff window, so callers
     should re-plan around the engine (or surface a clear diagnostic
-    when the engine holds data the query needs).
+    when the engine holds data the query needs).  ``db`` names the
+    unavailable engine when one specific engine can be blamed — the
+    client's plan-repair loop uses it to record the outage in the
+    health registry and re-plan around that engine; ``db=None`` marks
+    an unrepairable condition (e.g. every holder of a table is down).
+    """
+
+    def __init__(self, message: str, db=None):
+        super().__init__(message)
+        #: the unavailable DBMS, when a single engine can be blamed
+        self.db = db
+
+
+class CircuitOpenError(EngineUnavailableError):
+    """A call failed fast because the engine's circuit breaker is open.
+
+    Raised by the connector's guard *before* touching the retry budget
+    or the fault injector's schedule: while a breaker is open the
+    federation already knows the engine is down and re-probing it per
+    query would only waste the budget (see :mod:`repro.health`).
     """
 
 

@@ -15,10 +15,16 @@ resilience tests and ``benchmarks/bench_fault_injection.py``:
   network's links.  All randomness flows from ``policy.seed`` through
   one ``random.Random``, so a fault schedule replays identically.
 
-The connector layer reacts with retry + exponential backoff (see
-``repro.connect.connector.RetryPolicy``); the delegation engine reacts
-with deploy-or-rollback; the annotator reacts by constraining the
-placement candidate set to reachable engines.
+The connector layer reacts with retry + jittered exponential backoff
+(see ``repro.connect.connector.RetryPolicy``); the delegation engine
+reacts with deploy-or-rollback; the annotator reacts by constraining
+the placement candidate set to reachable engines.  On top of those,
+:mod:`repro.health` gives the federation *memory*: circuit breakers
+trip on failure streaks (open breakers fail fast without consuming
+the fault schedule), and the client's plan-repair loop re-plans
+queries around engines the registry knows to be down — the scripted
+outage/recovery schedules here double as the end-to-end adversary for
+that self-healing layer (``tests/test_self_healing.py``).
 """
 
 from repro.faults.injector import FaultInjector

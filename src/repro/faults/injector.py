@@ -119,7 +119,8 @@ class FaultInjector:
             self.injected_outage_rejections += 1
             raise EngineUnavailableError(
                 f"injected outage: DBMS {db!r} is down "
-                f"(call {count}, outage after {outage.after_calls})"
+                f"(call {count}, outage after {outage.after_calls})",
+                db=db,
             )
 
         for index, scripted in enumerate(self.policy.scripted):

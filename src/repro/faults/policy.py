@@ -3,8 +3,9 @@
 A policy is pure data: what to break, where, and how often.  The
 :class:`~repro.faults.injector.FaultInjector` interprets it against a
 deployment.  Operation tags match the connector's guarded call sites:
-``"metadata"``, ``"consult"``, ``"ddl"``, ``"query"``, ``"fetch"`` —
-``"*"`` matches any of them.
+``"metadata"``, ``"consult"``, ``"ddl"``, ``"query"``, ``"fetch"``,
+and ``"probe"`` (a circuit breaker's half-open probe) — ``"*"``
+matches any of them.
 """
 
 from __future__ import annotations
@@ -13,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
 #: Guarded-operation tags a fault may target.
-OPERATIONS = ("metadata", "consult", "ddl", "query", "fetch")
+OPERATIONS = ("metadata", "consult", "ddl", "query", "fetch", "probe")
 
 
 @dataclass(frozen=True)

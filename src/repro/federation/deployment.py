@@ -22,6 +22,7 @@ from repro.connect.connector import DBMSConnector
 from repro.engine.database import Database
 from repro.engine.fdw import RemoteServer
 from repro.errors import CatalogError, NetworkError
+from repro.health import BreakerConfig, HealthRegistry
 from repro.net.network import Network
 from repro.relational.schema import Schema
 
@@ -102,6 +103,13 @@ class Deployment:
             for name, database in self.databases.items()
         }
 
+        # One shared health registry: every connector feeds its guarded
+        # call outcomes into per-DBMS circuit breakers, and the client's
+        # plan-repair loop consults/trips the same breakers.
+        self.health = HealthRegistry()
+        for connector in self.connectors.values():
+            connector.health = self.health
+
     # -- wiring ----------------------------------------------------------------
 
     def _wire_servers(self) -> None:
@@ -167,6 +175,19 @@ class Deployment:
     def database_names(self) -> List[str]:
         return list(self.databases)
 
+    # -- health ----------------------------------------------------------------------
+
+    def configure_health(self, config: BreakerConfig) -> HealthRegistry:
+        """Swap in a fresh :class:`HealthRegistry` with ``config``.
+
+        All breaker state (trips, events, the simulated clock) is
+        discarded; every connector is re-pointed at the new registry.
+        """
+        self.health = HealthRegistry(config)
+        for connector in self.connectors.values():
+            connector.health = self.health
+        return self.health
+
     # -- data loading ----------------------------------------------------------------
 
     def load_table(
@@ -176,14 +197,45 @@ class Deployment:
 
     def load_distribution(
         self,
-        placement: Mapping[str, str],
+        placement: Mapping[str, object],
         tables: Mapping[str, Tuple[Schema, List[tuple]]],
     ) -> None:
         """Load ``tables`` (name → (schema, rows)) per ``placement``
-        (table name → database name)."""
-        for table_name, db_name in placement.items():
+        (table name → database name, or a list of names to load the
+        same table as replicas on several DBMSes)."""
+        for table_name, db_names in placement.items():
             schema, rows = tables[table_name]
-            self.load_table(db_name, table_name, schema, rows)
+            if isinstance(db_names, str):
+                db_names = [db_names]
+            for db_name in db_names:
+                self.load_table(db_name, table_name, schema, rows)
+
+    def replicate_table(
+        self, table: str, to_db: str, from_db: Optional[str] = None
+    ) -> None:
+        """Copy an existing table to another DBMS as a replica.
+
+        ``from_db`` defaults to the (single) current holder.  The copy
+        happens out-of-band (operator-managed replication), so it does
+        not touch the network ledger or connector counters.
+        """
+        if from_db is None:
+            holders = [
+                name
+                for name, database in self.databases.items()
+                if database.catalog.get(table) is not None
+            ]
+            if not holders:
+                raise CatalogError(
+                    f"cannot replicate unknown table {table!r}"
+                )
+            from_db = holders[0]
+        source = self.database(from_db).catalog.get(table)
+        if source is None:
+            raise CatalogError(f"no table {table!r} on DBMS {from_db!r}")
+        self.database(to_db).create_table(
+            table, source.schema, list(source.rows)
+        )
 
     # -- metrics ------------------------------------------------------------------------
 

@@ -1,0 +1,25 @@
+"""Self-healing federation layer: health registry + circuit breakers.
+
+See :mod:`repro.health.registry` for the state machine and
+``DESIGN.md`` §6 for how it composes with retry/backoff (connector),
+replicated tables (catalog + annotator), and automatic plan repair
+(client).
+"""
+
+from repro.health.registry import (
+    BreakerConfig,
+    BreakerEvent,
+    BreakerState,
+    CircuitBreaker,
+    HealthRegistry,
+    SimulatedClock,
+)
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerEvent",
+    "BreakerState",
+    "CircuitBreaker",
+    "HealthRegistry",
+    "SimulatedClock",
+]

@@ -70,6 +70,8 @@ class ConnectorResilience:
     failures: int = 0
     giveups: int = 0
     backoff_seconds: float = 0.0
+    #: calls rejected up-front by an open circuit breaker
+    fastfails: int = 0
 
     def __sub__(self, other: "ConnectorResilience") -> "ConnectorResilience":
         return ConnectorResilience(
@@ -77,6 +79,7 @@ class ConnectorResilience:
             failures=self.failures - other.failures,
             giveups=self.giveups - other.giveups,
             backoff_seconds=self.backoff_seconds - other.backoff_seconds,
+            fastfails=self.fastfails - other.fastfails,
         )
 
 
@@ -103,9 +106,13 @@ class ResilienceSummary:
         return sum(c.backoff_seconds for c in self.by_connector.values())
 
     @property
+    def fastfails(self) -> int:
+        return sum(c.fastfails for c in self.by_connector.values())
+
+    @property
     def degraded(self) -> bool:
         """Whether any fault was absorbed (or not) during the window."""
-        return self.failures > 0
+        return self.failures > 0 or self.fastfails > 0
 
     def describe(self) -> str:
         parts = [
@@ -114,10 +121,12 @@ class ResilienceSummary:
             f"{self.giveups} give-ups",
             f"{self.backoff_seconds:.3f}s backoff",
         ]
+        if self.fastfails:
+            parts.append(f"{self.fastfails} breaker fast-fails")
         noisy = {
             name: c
             for name, c in sorted(self.by_connector.items())
-            if c.failures or c.retries
+            if c.failures or c.retries or c.fastfails
         }
         if noisy:
             per = ", ".join(
@@ -138,6 +147,7 @@ def snapshot_resilience(
             failures=connector.failures,
             giveups=connector.giveups,
             backoff_seconds=connector.backoff_seconds,
+            fastfails=getattr(connector, "breaker_fastfails", 0),
         )
         for name, connector in connectors.items()
     }

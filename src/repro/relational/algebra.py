@@ -71,9 +71,13 @@ class Scan(LogicalPlan):
     """A leaf: scanning a stored relation (or a placeholder, see below).
 
     ``source_db`` records the DBMS the relation lives on — the annotation
-    the XDB optimizer's Rule 1 starts from.  ``placeholder`` marks the
-    dummy operator the plan finalizer inserts at task boundaries (the
-    "?" of the paper's notation).
+    the XDB optimizer's Rule 1 starts from.  ``replica_dbs`` lists
+    *every* DBMS holding a copy when the relation is replicated (it
+    includes ``source_db``; empty means un-replicated) — Rule 1 picks
+    the cheapest healthy holder, so losing one holder changes placement
+    instead of failing the query.  ``placeholder`` marks the dummy
+    operator the plan finalizer inserts at task boundaries (the "?" of
+    the paper's notation).
     """
 
     def __init__(
@@ -84,6 +88,7 @@ class Scan(LogicalPlan):
         source_db: Optional[str] = None,
         placeholder: bool = False,
         requalify: bool = True,
+        replica_dbs: Tuple[str, ...] = (),
     ):
         super().__init__()
         self.table = table
@@ -92,6 +97,7 @@ class Scan(LogicalPlan):
         # the consumer task's expressions keep resolving unchanged.
         self.schema = schema.requalified(binding) if requalify else schema
         self.source_db = source_db
+        self.replica_dbs = tuple(replica_dbs)
         self.placeholder = placeholder
 
     def label(self) -> str:

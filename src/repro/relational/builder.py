@@ -29,13 +29,18 @@ class ResolvedTable:
 
     ``source_db`` names the DBMS the relation lives on (used by XDB's
     Rule 1 and by the engines' foreign-scan machinery); ``table`` is the
-    canonical stored name.
+    canonical stored name.  ``replica_dbs`` lists every DBMS holding a
+    copy when the relation is replicated (empty for the common
+    single-holder case) — resolvers that know about replicas (XDB's
+    global catalog) populate it so the annotator can route around a
+    dead holder.
     """
 
     table: str
     schema: Optional[Schema] = None
     view_query: Optional[ast.Select] = None
     source_db: Optional[str] = None
+    replica_dbs: Tuple[str, ...] = ()
 
 
 class TableResolver:
@@ -303,6 +308,7 @@ class _PlanBuilder:
             binding=binding,
             schema=resolved.schema,
             source_db=resolved.source_db,
+            replica_dbs=resolved.replica_dbs,
         )
 
     # -- select list ------------------------------------------------------
