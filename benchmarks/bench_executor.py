@@ -1,0 +1,170 @@
+"""Executor microbenchmarks — row vs. batch (vectorized) mode.
+
+Measures rows/sec for the four core operator shapes (scan+project,
+filter, hash join, grouped aggregation) on synthetic fact/dim tables,
+in both execution modes of :class:`repro.engine.database.Database`.
+
+Standalone (unlike the ``bench_fig*`` pytest modules) so CI can gate on
+it cheaply::
+
+    python benchmarks/bench_executor.py                 # full scale
+    python benchmarks/bench_executor.py --rows 60000 --check
+
+Writes ``benchmarks/results/BENCH_executor.json``; ``--check`` exits
+non-zero if batch mode is slower than row mode on the join or
+aggregation microbenchmark (the regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.database import Database  # noqa: E402
+from repro.relational.schema import Field, Schema  # noqa: E402
+from repro.sql.types import DOUBLE, INTEGER, varchar  # noqa: E402
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_executor.json"
+
+#: name -> (sql, which table's row count the rows/sec rate is over)
+BENCHES = {
+    "scan": ("SELECT id, v FROM fact", "fact"),
+    "filter": ("SELECT id FROM fact WHERE v > 50 AND did < 4000", "fact"),
+    "join": (
+        "SELECT f.v, d.name FROM fact f, dim d WHERE f.did = d.id",
+        "fact",
+    ),
+    "aggregate": (
+        "SELECT g, SUM(v) AS s, COUNT(*) AS n, AVG(v) AS a "
+        "FROM fact GROUP BY g",
+        "fact",
+    ),
+}
+
+#: Microbenchmarks the --check gate requires batch mode to win.
+GATED = ("join", "aggregate")
+
+
+def build_database(mode: str, fact_rows: int, dim_rows: int) -> Database:
+    rng = random.Random(7)
+    fact = [
+        (i, i % dim_rows, rng.random() * 100.0, "g%d" % (i % 50))
+        for i in range(fact_rows)
+    ]
+    dim = [(i, "name%d" % i) for i in range(dim_rows)]
+    database = Database("BENCH", execution_mode=mode)
+    database.create_table(
+        "fact",
+        Schema(
+            [
+                Field("id", INTEGER),
+                Field("did", INTEGER),
+                Field("v", DOUBLE),
+                Field("g", varchar(8)),
+            ]
+        ),
+        fact,
+    )
+    database.create_table(
+        "dim",
+        Schema([Field("id", INTEGER), Field("name", varchar(16))]),
+        dim,
+    )
+    return database
+
+
+def time_query(database: Database, sql: str, repeat: int):
+    """Best-of-``repeat`` wall time and the result cardinality."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = database.execute(sql)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, len(result.rows)
+
+
+def run(fact_rows: int, dim_rows: int, repeat: int) -> dict:
+    databases = {
+        mode: build_database(mode, fact_rows, dim_rows)
+        for mode in ("row", "batch")
+    }
+    input_rows = {"fact": fact_rows, "dim": dim_rows}
+    benches = {}
+    for name, (sql, rate_table) in BENCHES.items():
+        entry = {"sql": sql}
+        cardinalities = {}
+        for mode, database in databases.items():
+            seconds, out_rows = time_query(database, sql, repeat)
+            entry[f"{mode}_seconds"] = round(seconds, 6)
+            entry[f"{mode}_rows_per_sec"] = round(
+                input_rows[rate_table] / seconds
+            )
+            cardinalities[mode] = out_rows
+        if cardinalities["row"] != cardinalities["batch"]:
+            raise SystemExit(
+                f"{name}: cardinality mismatch between modes "
+                f"{cardinalities!r}"
+            )
+        entry["rows_out"] = cardinalities["row"]
+        entry["speedup"] = round(
+            entry["row_seconds"] / entry["batch_seconds"], 2
+        )
+        benches[name] = entry
+    return {
+        "meta": {
+            "fact_rows": fact_rows,
+            "dim_rows": dim_rows,
+            "repeat": repeat,
+            "python": platform.python_version(),
+        },
+        "benches": benches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=200_000,
+                        help="fact table rows (default 200000)")
+    parser.add_argument("--dims", type=int, default=5_000,
+                        help="dim table rows (default 5000)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed repetitions; best is kept")
+    parser.add_argument("--out", type=pathlib.Path, default=RESULTS_PATH,
+                        help="output JSON path")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if batch is slower than row on the "
+                             "join or aggregation microbenchmark")
+    args = parser.parse_args(argv)
+
+    report = run(args.rows, args.dims, args.repeat)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"{'bench':10s} {'row_s':>8s} {'batch_s':>8s} {'speedup':>8s}")
+    failures = []
+    for name, entry in report["benches"].items():
+        print(
+            f"{name:10s} {entry['row_seconds']:8.3f} "
+            f"{entry['batch_seconds']:8.3f} {entry['speedup']:7.2f}x"
+        )
+        if name in GATED and entry["speedup"] < 1.0:
+            failures.append(name)
+    print(f"wrote {args.out}")
+    if args.check and failures:
+        print(f"FAIL: batch slower than row on: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

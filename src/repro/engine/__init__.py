@@ -14,5 +14,13 @@ paper assumes of a black-box DBMS:
 from repro.engine.database import Database
 from repro.engine.profiles import EngineProfile, profile_for
 from repro.engine.result import Result
+from repro.engine.vector import BATCH_SIZE, ColumnBatch
 
-__all__ = ["Database", "EngineProfile", "Result", "profile_for"]
+__all__ = [
+    "BATCH_SIZE",
+    "ColumnBatch",
+    "Database",
+    "EngineProfile",
+    "Result",
+    "profile_for",
+]

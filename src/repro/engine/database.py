@@ -49,11 +49,16 @@ class ExecutionTrace:
 class Database:
     """A single simulated DBMS (PostgreSQL / MariaDB / Hive flavoured)."""
 
+    #: Supported executor modes: ``"batch"`` (vectorized, the default)
+    #: and ``"row"`` (the reference tuple-at-a-time interpreter).
+    EXECUTION_MODES = ("row", "batch")
+
     def __init__(
         self,
         name: str,
         profile: str = "postgres",
         node: Optional[str] = None,
+        execution_mode: str = "batch",
     ):
         self.name = name
         self.profile: EngineProfile = (
@@ -61,6 +66,12 @@ class Database:
         )
         #: name of the network node hosting this DBMS
         self.node = node or name
+        if execution_mode not in self.EXECUTION_MODES:
+            raise ExecutionError(
+                f"unknown execution mode {execution_mode!r}; "
+                f"expected one of {self.EXECUTION_MODES}"
+            )
+        self.execution_mode = execution_mode
         self.catalog = Catalog(name)
         self.dialect: Renderer = dialect_for(self.profile.dialect)
         self.planner = LocalPlanner(self)
@@ -146,7 +157,12 @@ class Database:
         plan = build_plan(select, self.catalog)
         plan = self.planner.optimize(plan)
         physical_plan = self.planner.to_physical(plan)
-        rows = list(physical_plan.rows())
+        if self.execution_mode == "batch":
+            rows: List[tuple] = []
+            for batch in physical_plan.batches():
+                rows.extend(batch.rows())
+        else:
+            rows = list(physical_plan.rows())
         self.trace.rows_processed += physical_plan.total_rows_processed()
         self.trace.rows_returned += len(rows)
         self.trace.last_plan_text = physical_plan.pretty()

@@ -115,6 +115,19 @@ class ForeignScan(PhysicalPlan):
         self.fetched_rows = len(result)
         return iter(result.rows)
 
+    def _produce_batches(self, hint):
+        """Stream the fetched result as column batches.
+
+        The remote execution and wire transfer happen exactly once (and
+        are accounted identically to row mode); only the local hand-off
+        into the consuming operators is chunked.
+        """
+        from repro.engine.vector import batches_from_rows
+
+        result = self.server.fetch(self.remote_query, tag=self.tag)
+        self.fetched_rows = len(result)
+        return batches_from_rows(result.rows, len(self.schema), limit=hint)
+
     def label(self) -> str:
         return (
             f"ForeignScan[{self.server.name}: "

@@ -1,14 +1,30 @@
 """Physical operators: a pull-based (iterator) query executor.
 
-Operators compile their expressions once at construction and stream row
-tuples.  Every operator counts the rows it produces (``rows_out``), which
-feeds the execution statistics the schedule simulator consumes.
+Operators compile their expressions once at construction and stream
+rows in one of two interchangeable modes:
+
+* **row mode** (``rows()``) pulls one tuple at a time through the
+  operator tree — simple, and the reference for semantics;
+* **batch mode** (``batches()``) pulls :class:`~repro.engine.vector.
+  ColumnBatch` runs of rows and evaluates expressions through compiled
+  column kernels, amortizing the per-tuple interpreter overhead.
+
+Every operator counts the rows it produces (``rows_out``) identically
+in both modes, which feeds the execution statistics the schedule
+simulator consumes (see DESIGN.md §7 for the cardinality-parity
+contract and its one batch-granularity caveat under LIMIT).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.vector import (
+    BATCH_SIZE,
+    ColumnBatch,
+    GroupedAggregator,
+    batches_from_rows,
+)
 from repro.errors import ExecutionError
 from repro.relational.algebra import AggregateSpec
 from repro.relational.schema import Schema
@@ -30,8 +46,41 @@ class PhysicalPlan:
             self.rows_out += 1
             yield row
 
+    def batches(self, hint: Optional[int] = None) -> Iterator[ColumnBatch]:
+        """Stream output batches, counting rows as a side effect.
+
+        ``hint`` is an upper bound on the rows the consumer will use
+        (propagated down from LIMIT).  Operators that can honor it
+        exactly do; for the rest it is advisory and the consumer
+        truncates.
+        """
+        for batch in self._produce_batches(hint):
+            self.rows_out += batch.length
+            yield batch
+
     def _produce(self) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        """Fallback batch path: chunk the operator's own row stream.
+
+        Subtrees without a native batch implementation run their
+        row-mode ``_produce`` (children are pulled row-wise), so
+        semantics and per-operator counts are preserved exactly.
+        """
+        width = len(self.schema)
+        buffer: List[tuple] = []
+        produced = 0
+        for row in self._produce():
+            buffer.append(row)
+            produced += 1
+            if hint is not None and produced >= hint:
+                break
+            if len(buffer) >= BATCH_SIZE:
+                yield ColumnBatch(rows=buffer, width=width)
+                buffer = []
+        if buffer:
+            yield ColumnBatch(rows=buffer, width=width)
 
     def children(self) -> List["PhysicalPlan"]:
         return []
@@ -64,6 +113,9 @@ class SeqScan(PhysicalPlan):
     def _produce(self) -> Iterator[tuple]:
         return iter(self._rows)
 
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        return batches_from_rows(self._rows, len(self.schema), limit=hint)
+
     def label(self) -> str:
         return f"SeqScan[{self.table_name}]"
 
@@ -80,19 +132,34 @@ class ValuesScan(PhysicalPlan):
     def _produce(self) -> Iterator[tuple]:
         return iter(self._rows)
 
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        return batches_from_rows(self._rows, len(self.schema), limit=hint)
+
     def label(self) -> str:
         return f"ValuesScan[{self.name}]"
 
 
 class FilterOp(PhysicalPlan):
-    """Row selection by a compiled predicate."""
+    """Row selection by a compiled predicate.
 
-    def __init__(self, child: PhysicalPlan, predicate: RowFn, text: str = ""):
+    ``kernel`` is the optional selection kernel (``fn(batch) ->
+    indices | None``) compiled by the planner; without it the batch
+    path filters through the row predicate.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalPlan,
+        predicate: RowFn,
+        text: str = "",
+        kernel: Optional[Callable] = None,
+    ):
         super().__init__()
         self.child = child
         self.predicate = predicate
         self.schema = child.schema
         self.text = text
+        self.kernel = kernel
 
     def children(self) -> List[PhysicalPlan]:
         return [self.child]
@@ -103,6 +170,33 @@ class FilterOp(PhysicalPlan):
             if predicate(row):
                 yield row
 
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        select = self.kernel
+        predicate = self.predicate
+        remaining = hint
+        for batch in self.child.batches():
+            if select is not None:
+                picked = select(batch)
+                if picked is None:
+                    out = batch
+                elif picked:
+                    out = batch.take(picked)
+                else:
+                    continue
+            else:
+                kept = [row for row in batch.rows() if predicate(row)]
+                if not kept:
+                    continue
+                out = ColumnBatch(rows=kept, width=len(self.schema))
+            if remaining is not None:
+                out = out.head(remaining)
+                remaining -= out.length
+                yield out
+                if remaining <= 0:
+                    return
+            else:
+                yield out
+
     def label(self) -> str:
         return f"Filter[{self.text}]" if self.text else "Filter"
 
@@ -111,12 +205,27 @@ class ProjectOp(PhysicalPlan):
     """Column computation by a list of compiled expressions."""
 
     def __init__(
-        self, child: PhysicalPlan, fns: Sequence[RowFn], schema: Schema
+        self,
+        child: PhysicalPlan,
+        fns: Sequence[RowFn],
+        schema: Schema,
+        kernels: Optional[Sequence[Callable]] = None,
     ):
         super().__init__()
         self.child = child
         self.fns = list(fns)
         self.schema = schema
+        self.kernels = list(kernels) if kernels is not None else None
+        # Pure column picks (every kernel a tagged ColumnRef) gather the
+        # needed columns in one step instead of running each kernel over
+        # a fully transposed batch.
+        self.pick_indices: Optional[List[int]] = None
+        if self.kernels and all(
+            hasattr(kernel, "column_index") for kernel in self.kernels
+        ):
+            self.pick_indices = [
+                kernel.column_index for kernel in self.kernels
+            ]
 
     def children(self) -> List[PhysicalPlan]:
         return [self.child]
@@ -125,6 +234,26 @@ class ProjectOp(PhysicalPlan):
         fns = self.fns
         for row in self.child.rows():
             yield tuple(fn(row) for fn in fns)
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        kernels = self.kernels
+        if kernels is None:
+            fns = self.fns
+            for batch in self.child.batches(hint):
+                rows = [
+                    tuple(fn(row) for fn in fns) for row in batch.rows()
+                ]
+                yield ColumnBatch(rows=rows, width=len(self.schema))
+            return
+        picks = self.pick_indices
+        if picks is not None:
+            for batch in self.child.batches(hint):
+                yield batch.pick(picks)
+            return
+        for batch in self.child.batches(hint):
+            yield ColumnBatch(
+                columns=[kernel(batch) for kernel in kernels]
+            )
 
     def label(self) -> str:
         return f"Project[{len(self.fns)} cols]"
@@ -146,6 +275,8 @@ class HashJoin(PhysicalPlan):
         schema: Schema,
         kind: str = "INNER",
         residual: Optional[RowFn] = None,
+        left_key_kernels: Optional[Sequence[Callable]] = None,
+        right_key_kernels: Optional[Sequence[Callable]] = None,
     ):
         super().__init__()
         if kind not in ("INNER", "LEFT"):
@@ -157,11 +288,20 @@ class HashJoin(PhysicalPlan):
         self.schema = schema
         self.kind = kind
         self.residual = residual
+        self.left_key_kernels = (
+            list(left_key_kernels) if left_key_kernels is not None else None
+        )
+        self.right_key_kernels = (
+            list(right_key_kernels) if right_key_kernels is not None else None
+        )
 
     def children(self) -> List[PhysicalPlan]:
         return [self.left, self.right]
 
     def _produce(self) -> Iterator[tuple]:
+        if len(self.left_keys) == 1:
+            yield from self._produce_single_key()
+            return
         table: Dict[tuple, List[tuple]] = {}
         right_keys = self.right_keys
         for row in self.right.rows():
@@ -186,6 +326,206 @@ class HashJoin(PhysicalPlan):
                         yield joined
             if left_outer and not matched:
                 yield row + pad
+
+    def _produce_single_key(self) -> Iterator[tuple]:
+        """Single-key joins skip per-row key-tuple construction and the
+        None scan — the overwhelmingly common case in the workloads."""
+        table: Dict[object, List[tuple]] = {}
+        right_key = self.right_keys[0]
+        for row in self.right.rows():
+            key = right_key(row)
+            if key is None:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [row]
+            else:
+                bucket.append(row)
+
+        left_key = self.left_keys[0]
+        residual = self.residual
+        pad = (None,) * len(self.right.schema)
+        left_outer = self.kind == "LEFT"
+        lookup = table.get
+
+        for row in self.left.rows():
+            key = left_key(row)
+            bucket = lookup(key) if key is not None else None
+            if bucket:
+                if residual is None:
+                    for right_row in bucket:
+                        yield row + right_row
+                    continue
+                matched = False
+                for right_row in bucket:
+                    joined = row + right_row
+                    if residual(joined):
+                        matched = True
+                        yield joined
+                if matched:
+                    continue
+            if left_outer:
+                yield row + pad
+
+    # -- batch path --------------------------------------------------------
+
+    def _build_table(self) -> Tuple[Dict[object, object], bool]:
+        """Consume the right input (as batches) into the hash table.
+
+        Returns ``(table, unique)``.  While no key collides, each value
+        is the matching row itself (a tuple); the first collision turns
+        values into list buckets and flips ``unique`` — the probe side
+        uses the all-unique case (PK–FK joins, the common shape in the
+        workloads) for a comprehension-based fast path.
+        """
+        table: Dict[object, object] = {}
+        unique = True
+        kernels = self.right_key_kernels
+        single = len(self.right_keys) == 1
+        for batch in self.right.batches():
+            rows = batch.rows()
+            if kernels is not None:
+                key_columns = [kernel(batch) for kernel in kernels]
+            else:
+                fns = self.right_keys
+                key_columns = [
+                    [fn(row) for row in rows] for fn in fns
+                ]
+            if single:
+                for key, row in zip(key_columns[0], rows):
+                    if key is None:
+                        continue
+                    existing = table.get(key)
+                    if existing is None:
+                        table[key] = row
+                    elif existing.__class__ is list:
+                        existing.append(row)
+                    else:
+                        table[key] = [existing, row]
+                        unique = False
+            else:
+                for packed in zip(*key_columns, rows):
+                    row = packed[-1]
+                    key = packed[:-1]
+                    if None in key:
+                        continue
+                    existing = table.get(key)
+                    if existing is None:
+                        table[key] = row
+                    elif existing.__class__ is list:
+                        existing.append(row)
+                    else:
+                        table[key] = [existing, row]
+                        unique = False
+        return table, unique
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        table, unique = self._build_table()
+        kernels = self.left_key_kernels
+        single = len(self.left_keys) == 1
+        residual = self.residual
+        pad = (None,) * len(self.right.schema)
+        left_outer = self.kind == "LEFT"
+        fast = unique and residual is None
+        if not fast:
+            # The generic probe loop expects list buckets.
+            for key, value in table.items():
+                if value.__class__ is not list:
+                    table[key] = [value]
+        lookup = table.get
+        width = len(self.schema)
+        remaining = hint
+
+        for batch in self.left.batches():
+            rows = batch.rows()
+            if kernels is not None:
+                key_columns = [kernel(batch) for kernel in kernels]
+            else:
+                fns = self.left_keys
+                key_columns = [[fn(row) for row in rows] for fn in fns]
+            if fast:
+                # All build keys are unique: probe with a C-level
+                # map over dict.get and one comprehension.  NULL and
+                # missing keys both come back as None (NULL keys are
+                # never inserted, so a NULL probe cannot match).
+                keys = (
+                    key_columns[0] if single else zip(*key_columns)
+                )
+                matches = map(lookup, keys)
+                if left_outer:
+                    out = [
+                        row + (match if match is not None else pad)
+                        for row, match in zip(rows, matches)
+                    ]
+                else:
+                    out = [
+                        row + match
+                        for row, match in zip(rows, matches)
+                        if match is not None
+                    ]
+                if not out:
+                    continue
+                result = ColumnBatch(rows=out, width=width)
+                if remaining is not None:
+                    result = result.head(remaining)
+                    remaining -= result.length
+                    yield result
+                    if remaining <= 0:
+                        return
+                else:
+                    yield result
+                continue
+            out: List[tuple] = []
+            append = out.append
+            if single:
+                for key, row in zip(key_columns[0], rows):
+                    bucket = lookup(key) if key is not None else None
+                    if bucket:
+                        if residual is None:
+                            for right_row in bucket:
+                                append(row + right_row)
+                            continue
+                        matched = False
+                        for right_row in bucket:
+                            joined = row + right_row
+                            if residual(joined):
+                                matched = True
+                                append(joined)
+                        if matched:
+                            continue
+                    if left_outer:
+                        append(row + pad)
+            else:
+                for packed in zip(*key_columns, rows):
+                    row = packed[-1]
+                    key = packed[:-1]
+                    bucket = lookup(key) if None not in key else None
+                    if bucket:
+                        if residual is None:
+                            for right_row in bucket:
+                                append(row + right_row)
+                            continue
+                        matched = False
+                        for right_row in bucket:
+                            joined = row + right_row
+                            if residual(joined):
+                                matched = True
+                                append(joined)
+                        if matched:
+                            continue
+                    if left_outer:
+                        append(row + pad)
+            if not out:
+                continue
+            result = ColumnBatch(rows=out, width=width)
+            if remaining is not None:
+                result = result.head(remaining)
+                remaining -= result.length
+                yield result
+                if remaining <= 0:
+                    return
+            else:
+                yield result
 
     def label(self) -> str:
         return f"HashJoin[{self.kind}, {len(self.left_keys)} keys]"
@@ -296,15 +636,75 @@ class HashAggregate(PhysicalPlan):
         key_fns: Sequence[RowFn],
         specs: Sequence[Tuple[AggregateSpec, Optional[RowFn]]],
         schema: Schema,
+        key_kernels: Optional[Sequence[Callable]] = None,
+        spec_kernels: Optional[Sequence[Optional[Callable]]] = None,
     ):
         super().__init__()
         self.child = child
         self.key_fns = list(key_fns)
         self.specs = list(specs)
         self.schema = schema
+        self.key_kernels = (
+            list(key_kernels) if key_kernels is not None else None
+        )
+        self.spec_kernels = (
+            list(spec_kernels) if spec_kernels is not None else None
+        )
 
     def children(self) -> List[PhysicalPlan]:
         return [self.child]
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        aggregator = GroupedAggregator([spec for spec, _ in self.specs])
+        key_kernels = self.key_kernels
+        spec_kernels = self.spec_kernels
+        key_count = len(self.key_fns)
+        single_key = key_count == 1
+
+        for batch in self.child.batches():
+            if key_kernels is not None:
+                key_columns = [kernel(batch) for kernel in key_kernels]
+            else:
+                rows = batch.rows()
+                key_columns = [
+                    [fn(row) for row in rows] for fn in self.key_fns
+                ]
+            if single_key:
+                keys: Sequence[object] = key_columns[0]
+            elif key_count:
+                keys = list(zip(*key_columns))
+            else:
+                keys = [()] * batch.length
+            gids = aggregator.group_ids(keys)
+            for index, (spec, arg_fn) in enumerate(self.specs):
+                if spec_kernels is not None:
+                    kernel = spec_kernels[index]
+                    values = None if kernel is None else kernel(batch)
+                elif arg_fn is None:
+                    values = None
+                else:
+                    values = [arg_fn(row) for row in batch.rows()]
+                aggregator.accumulate(index, gids, values)
+
+        if aggregator.group_count() == 0 and not self.key_fns:
+            # SQL scalar-aggregate semantics over an empty input.
+            aggregator.ensure_group(())
+            single_key = False
+
+        width = len(self.schema)
+        emitted = aggregator.emit_rows(key_is_tuple=not single_key)
+        buffer: List[tuple] = []
+        produced = 0
+        for row in emitted:
+            buffer.append(row)
+            produced += 1
+            if hint is not None and produced >= hint:
+                break
+            if len(buffer) >= BATCH_SIZE:
+                yield ColumnBatch(rows=buffer, width=width)
+                buffer = []
+        if buffer:
+            yield ColumnBatch(rows=buffer, width=width)
 
     def _produce(self) -> Iterator[tuple]:
         groups: Dict[tuple, List[_Accumulator]] = {}
@@ -359,6 +759,19 @@ class UnionAllOp(PhysicalPlan):
         for row in self.right.rows():
             yield row
 
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        remaining = hint
+        for side in (self.left, self.right):
+            for batch in side.batches(remaining):
+                if remaining is not None:
+                    batch = batch.head(remaining)
+                    remaining -= batch.length
+                    yield batch
+                    if remaining <= 0:
+                        return
+                else:
+                    yield batch
+
 
 class SortOp(PhysicalPlan):
     """Full sort; NULLS LAST for ascending keys, FIRST for descending."""
@@ -377,7 +790,16 @@ class SortOp(PhysicalPlan):
         return [self.child]
 
     def _produce(self) -> Iterator[tuple]:
-        rows = list(self.child.rows())
+        return iter(self._sorted_rows(list(self.child.rows())))
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        rows: List[tuple] = []
+        for batch in self.child.batches():
+            rows.extend(batch.rows())
+        rows = self._sorted_rows(rows)
+        return batches_from_rows(rows, len(self.schema), limit=hint)
+
+    def _sorted_rows(self, rows: List[tuple]) -> List[tuple]:
         # Stable sorts applied from the least-significant key backwards.
         for key_fn, ascending in reversed(self.keys):
 
@@ -386,7 +808,7 @@ class SortOp(PhysicalPlan):
                 return (1, 0) if value is None else (0, value)
 
             rows.sort(key=sort_key, reverse=not ascending)
-        return iter(rows)
+        return rows
 
     def label(self) -> str:
         return f"Sort[{len(self.keys)} keys]"
@@ -414,6 +836,19 @@ class LimitOp(PhysicalPlan):
             if produced >= self.count:
                 return
 
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        remaining = self.count
+        if hint is not None:
+            remaining = min(remaining, hint)
+        if remaining <= 0:
+            return
+        for batch in self.child.batches(remaining):
+            batch = batch.head(remaining)
+            remaining -= batch.length
+            yield batch
+            if remaining <= 0:
+                return
+
     def label(self) -> str:
         return f"Limit[{self.count}]"
 
@@ -435,3 +870,27 @@ class DistinctOp(PhysicalPlan):
             if row not in seen:
                 seen.add(row)
                 yield row
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        seen: set = set()
+        add = seen.add
+        width = len(self.schema)
+        remaining = hint
+        for batch in self.child.batches():
+            fresh: List[tuple] = []
+            append = fresh.append
+            for row in batch.rows():
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if not fresh:
+                continue
+            out = ColumnBatch(rows=fresh, width=width)
+            if remaining is not None:
+                out = out.head(remaining)
+                remaining -= out.length
+                yield out
+                if remaining <= 0:
+                    return
+            else:
+                yield out

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
-from repro.engine import physical
+from repro.engine import physical, vector
 from repro.engine.catalog import BaseTable, ForeignTable
 from repro.engine.cost import CardinalityEstimator, ScanStats
 from repro.engine.fdw import ForeignScan, build_remote_query, strip_qualifiers
@@ -90,7 +90,12 @@ class LocalPlanner:
             child = self.to_physical(plan.child)
             predicate = compile_predicate(plan.predicate, plan.child.schema)
             return physical.FilterOp(
-                child, predicate, text=render(plan.predicate)
+                child,
+                predicate,
+                text=render(plan.predicate),
+                kernel=vector.compile_filter_kernel(
+                    plan.predicate, plan.child.schema
+                ),
             )
 
         if isinstance(plan, algebra.Project):
@@ -99,7 +104,11 @@ class LocalPlanner:
                 compile_expression(item.expr, plan.child.schema).fn
                 for item in plan.items
             ]
-            return physical.ProjectOp(child, fns, plan.schema)
+            kernels = [
+                vector.compile_kernel(item.expr, plan.child.schema)
+                for item in plan.items
+            ]
+            return physical.ProjectOp(child, fns, plan.schema, kernels)
 
         if isinstance(plan, algebra.Alias):
             # Pure renaming: execution is the child's.
@@ -122,7 +131,12 @@ class LocalPlanner:
                 compile_expression(key.expr, plan.child.schema).fn
                 for key in plan.keys
             ]
+            key_kernels = [
+                vector.compile_kernel(key.expr, plan.child.schema)
+                for key in plan.keys
+            ]
             specs = []
+            spec_kernels = []
             for spec in plan.aggregates:
                 arg_fn = (
                     compile_expression(spec.arg, plan.child.schema).fn
@@ -130,7 +144,19 @@ class LocalPlanner:
                     else None
                 )
                 specs.append((spec, arg_fn))
-            return physical.HashAggregate(child, key_fns, specs, plan.schema)
+                spec_kernels.append(
+                    vector.compile_kernel(spec.arg, plan.child.schema)
+                    if spec.arg is not None
+                    else None
+                )
+            return physical.HashAggregate(
+                child,
+                key_fns,
+                specs,
+                plan.schema,
+                key_kernels=key_kernels,
+                spec_kernels=spec_kernels,
+            )
 
         if isinstance(plan, algebra.Sort):
             child = self.to_physical(plan.child)
@@ -260,14 +286,25 @@ class LocalPlanner:
                 local_filter.predicate, fetched_schema
             )
             result = physical.FilterOp(
-                result, predicate, text=render(local_filter.predicate)
+                result,
+                predicate,
+                text=render(local_filter.predicate),
+                kernel=vector.compile_filter_kernel(
+                    local_filter.predicate, fetched_schema
+                ),
             )
         if project is not None:
             fns = [
                 compile_expression(item.expr, fetched_schema).fn
                 for item in project.items
             ]
-            result = physical.ProjectOp(result, fns, project.schema)
+            kernels = [
+                vector.compile_kernel(item.expr, fetched_schema)
+                for item in project.items
+            ]
+            result = physical.ProjectOp(
+                result, fns, project.schema, kernels
+            )
         return result
 
     # -- joins ----------------------------------------------------------------
@@ -296,6 +333,14 @@ class LocalPlanner:
             compile_expression(right_ref, plan.right.schema).fn
             for _, right_ref in keys
         ]
+        left_kernels = [
+            vector.compile_kernel(left_ref, plan.left.schema)
+            for left_ref, _ in keys
+        ]
+        right_kernels = [
+            vector.compile_kernel(right_ref, plan.right.schema)
+            for _, right_ref in keys
+        ]
         return physical.HashJoin(
             left,
             right,
@@ -303,6 +348,8 @@ class LocalPlanner:
             right_fns,
             plan.schema,
             kind="INNER" if plan.kind == "INNER" else plan.kind,
+            left_key_kernels=left_kernels,
+            right_key_kernels=right_kernels,
         )
 
 
@@ -319,6 +366,9 @@ class _Rebind(physical.PhysicalPlan):
 
     def _produce(self):
         return self.child.rows()
+
+    def _produce_batches(self, hint):
+        return self.child.batches(hint)
 
     def label(self) -> str:
         return "Rebind"

@@ -1,0 +1,626 @@
+"""Vectorized (batch) execution: column batches and compiled kernels.
+
+The row-at-a-time interpreter in :mod:`repro.engine.physical` pays
+Python iterator, closure-call, and tuple-construction overhead for
+every single tuple.  Batch mode amortizes that overhead: operators
+exchange :class:`ColumnBatch` objects — fixed-size runs of rows stored
+as parallel columns — and expressions are lowered to *kernels* that
+evaluate a whole column per call instead of one value per row.
+
+The kernel compiler (:func:`compile_kernel`) mirrors the row-wise
+expression compiler in :mod:`repro.relational.expressions` node for
+node.  SQL semantics are identical: ``None`` is SQL NULL and propagates
+per the standard, comparisons/arithmetic are NULL-strict, and AND/OR
+implement Kleene three-valued logic.  Any expression node without a
+vectorized lowering (e.g. CASE, whose branches must not be evaluated
+eagerly) falls back to a row-loop kernel *for that subtree only*, so
+the rest of the expression stays vectorized.
+
+Two deliberate deviations from row-at-a-time evaluation, both standard
+for vectorized engines, are documented in DESIGN.md §7: within one
+expression both operands of a binary operator are fully evaluated (row
+mode skips the right side when the left is NULL), and a LIMIT above a
+streaming operator stops at batch rather than row granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.relational.expressions import (
+    cast_value,
+    compile_expression,
+    like_regex,
+    scalar_function,
+    sql_and,
+    sql_not,
+    sql_or,
+)
+from repro.sql import ast
+
+#: Default number of rows per batch.  Large enough to amortize the
+#: per-batch kernel dispatch, small enough to keep intermediate columns
+#: in cache-friendly chunks.
+BATCH_SIZE = 1024
+
+
+class ColumnBatch:
+    """A run of rows stored twice over: as columns and/or as row tuples.
+
+    Either representation may be supplied at construction; the other is
+    materialized lazily (once) on first access.  Column kernels read
+    ``columns``; operators that must emit tuples (joins, the final
+    result) read ``rows()``.  Scans built from stored row lists
+    therefore transpose only when a kernel actually needs a column.
+    """
+
+    __slots__ = ("length", "_columns", "_rows", "_width")
+
+    def __init__(
+        self,
+        columns: Optional[Sequence[Sequence[object]]] = None,
+        rows: Optional[Sequence[tuple]] = None,
+        width: Optional[int] = None,
+    ):
+        if columns is None and rows is None:
+            raise ExecutionError("ColumnBatch needs columns or rows")
+        self._columns = list(columns) if columns is not None else None
+        self._rows = rows
+        if columns is not None:
+            self._width = len(self._columns)
+            self.length = len(self._columns[0]) if self._columns else (
+                len(rows) if rows is not None else 0
+            )
+        else:
+            if width is None:
+                width = len(rows[0]) if rows else 0
+            self._width = width
+            self.length = len(rows)
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def columns(self) -> List[Sequence[object]]:
+        if self._columns is None:
+            if self._rows:
+                # Columns transposed from rows stay tuples: kernels only
+                # read inputs, and skipping the per-column list() copy
+                # halves the transpose cost.
+                self._columns = list(zip(*self._rows))
+            else:
+                self._columns = [() for _ in range(self._width)]
+        return self._columns
+
+    def column(self, index: int) -> Sequence[object]:
+        return self.columns[index]
+
+    def rows(self) -> Sequence[tuple]:
+        if self._rows is None:
+            if self._columns:
+                self._rows = list(zip(*self._columns))
+            else:
+                self._rows = [()] * self.length
+        return self._rows
+
+    def pick(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Project onto the columns at ``indices``.
+
+        Zero-copy when this batch is columnar; on a row-backed batch it
+        gathers only the requested columns (cheaper than the full
+        transpose ``columns`` would perform).  ``indices`` must be
+        non-empty (a zero-column batch could not carry ``length``).
+        """
+        if self._columns is not None:
+            cols = self._columns
+            return ColumnBatch(columns=[cols[i] for i in indices])
+        rows = self._rows
+        return ColumnBatch(
+            columns=[[row[i] for row in rows] for i in indices]
+        )
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """Gather the rows at ``indices`` into a new batch."""
+        if self._rows is not None and self._columns is None:
+            source = self._rows
+            return ColumnBatch(
+                rows=[source[i] for i in indices], width=self._width
+            )
+        return ColumnBatch(
+            columns=[[col[i] for i in indices] for col in self.columns],
+            width=self._width,
+        )
+
+    def head(self, count: int) -> "ColumnBatch":
+        """The first ``count`` rows (no copy when already short enough)."""
+        if count >= self.length:
+            return self
+        if self._rows is not None and self._columns is None:
+            return ColumnBatch(rows=self._rows[:count], width=self._width)
+        return ColumnBatch(
+            columns=[col[:count] for col in self.columns], width=self._width
+        )
+
+    def __len__(self) -> int:
+        return self.length
+
+
+def batches_from_rows(
+    rows: Sequence[tuple],
+    width: int,
+    batch_size: int = BATCH_SIZE,
+    limit: Optional[int] = None,
+):
+    """Chunk a materialized row list into batches (zero-copy slices)."""
+    total = len(rows) if limit is None else min(limit, len(rows))
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        yield ColumnBatch(rows=rows[start:stop], width=width)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+#: A kernel maps a batch to one output column (len == batch.length).
+KernelFn = Callable[[ColumnBatch], Sequence[object]]
+
+
+class _Fallback(Exception):
+    """Internal: this subtree has no vectorized lowering."""
+
+
+def row_loop_kernel(expr: ast.Expression, schema) -> KernelFn:
+    """The universal fallback: run the row-wise closure over the batch."""
+    fn = compile_expression(expr, schema).fn
+
+    def kernel(batch: ColumnBatch) -> List[object]:
+        return [fn(row) for row in batch.rows()]
+
+    return kernel
+
+
+def compile_kernel(expr: ast.Expression, schema) -> KernelFn:
+    """Lower ``expr`` (bound against ``schema``) to a column kernel.
+
+    Never raises for a compilable expression: subtrees the vectorizer
+    does not support are lowered through :func:`row_loop_kernel`.
+    Binding/type errors surface exactly as in the row compiler (the
+    caller is expected to have row-compiled the same expression first,
+    which performs full type checking).
+    """
+    return _KernelCompiler(schema).compile(expr)
+
+
+def compile_filter_kernel(expr: ast.Expression, schema) -> Callable:
+    """Compile a predicate into a selection kernel.
+
+    Returns ``fn(batch) -> list[int] | None``: the indices of rows
+    where the predicate is True, or ``None`` meaning "every row passed"
+    (so filters can forward the batch without copying).
+    """
+    kernel = compile_kernel(expr, schema)
+
+    def select(batch: ColumnBatch):
+        values = kernel(batch)
+        selected = [i for i, value in enumerate(values) if value is True]
+        if len(selected) == batch.length:
+            return None
+        return selected
+
+    return select
+
+
+class _KernelCompiler:
+    """Vectorized mirror of ``repro.relational.expressions._Compiler``."""
+
+    def __init__(self, schema):
+        self._schema = schema
+
+    # -- entry points ------------------------------------------------------
+
+    def compile(self, expr: ast.Expression) -> KernelFn:
+        try:
+            return self._lower(expr)
+        except _Fallback:
+            return row_loop_kernel(expr, self._schema)
+
+    def _lower(self, expr: ast.Expression) -> KernelFn:
+        method = getattr(self, f"_lower_{type(expr).__name__}", None)
+        if method is None:
+            raise _Fallback
+        return method(expr)
+
+    def _child(self, expr: ast.Expression) -> KernelFn:
+        """Lower a subtree, isolating fallbacks to that subtree."""
+        try:
+            return self._lower(expr)
+        except _Fallback:
+            return row_loop_kernel(expr, self._schema)
+
+    # -- leaves -----------------------------------------------------------
+
+    def _lower_ColumnRef(self, expr: ast.ColumnRef) -> KernelFn:
+        index = self._schema.resolve(expr.name, expr.table)
+        kernel = lambda batch: batch.columns[index]  # noqa: E731
+        # Tag pure column picks so operators (ProjectOp) can gather the
+        # needed columns directly instead of transposing every column.
+        kernel.column_index = index
+        return kernel
+
+    def _lower_Literal(self, expr: ast.Literal) -> KernelFn:
+        value = expr.value
+        return lambda batch: [value] * batch.length
+
+    # -- operators --------------------------------------------------------
+
+    def _lower_BinaryOp(self, expr: ast.BinaryOp) -> KernelFn:
+        op = expr.op
+        if op in ("AND", "OR"):
+            lk = self._child(expr.left)
+            rk = self._child(expr.right)
+            combine = sql_and if op == "AND" else sql_or
+            return lambda batch: [
+                combine(a, b) for a, b in zip(lk(batch), rk(batch))
+            ]
+
+        if op in ("+", "-") and isinstance(expr.right, ast.IntervalLiteral):
+            from repro.relational.expressions import shift_date
+
+            inner = self._child(expr.left)
+            amount = expr.right.amount if op == "+" else -expr.right.amount
+            unit = expr.right.unit
+            return lambda batch: [
+                None if v is None else shift_date(v, amount, unit)
+                for v in inner(batch)
+            ]
+
+        lk = self._child(expr.left)
+        rk = self._child(expr.right)
+        maker = _BINARY_KERNELS.get(op)
+        if maker is None:
+            raise _Fallback
+        return maker(lk, rk)
+
+    def _lower_UnaryOp(self, expr: ast.UnaryOp) -> KernelFn:
+        inner = self._child(expr.operand)
+        if expr.op == "NOT":
+            return lambda batch: [sql_not(v) for v in inner(batch)]
+        if expr.op == "-":
+            return lambda batch: [
+                None if v is None else -v for v in inner(batch)
+            ]
+        raise _Fallback
+
+    def _lower_IsNull(self, expr: ast.IsNull) -> KernelFn:
+        inner = self._child(expr.operand)
+        if expr.negated:
+            return lambda batch: [v is not None for v in inner(batch)]
+        return lambda batch: [v is None for v in inner(batch)]
+
+    def _lower_Between(self, expr: ast.Between) -> KernelFn:
+        of = self._child(expr.operand)
+        lf = self._child(expr.low)
+        hf = self._child(expr.high)
+        if expr.negated:
+
+            def kernel_negated(batch: ColumnBatch) -> List[object]:
+                return [
+                    None
+                    if value is None or lo is None or hi is None
+                    else not (lo <= value <= hi)
+                    for value, lo, hi in zip(of(batch), lf(batch), hf(batch))
+                ]
+
+            return kernel_negated
+
+        def kernel(batch: ColumnBatch) -> List[object]:
+            return [
+                None
+                if value is None or lo is None or hi is None
+                else lo <= value <= hi
+                for value, lo, hi in zip(of(batch), lf(batch), hf(batch))
+            ]
+
+        return kernel
+
+    def _lower_InList(self, expr: ast.InList) -> KernelFn:
+        if not all(isinstance(item, ast.Literal) for item in expr.items):
+            raise _Fallback  # per-row evaluation order must be preserved
+        of = self._child(expr.operand)
+        values = {item.value for item in expr.items}
+        has_null = None in values
+        values.discard(None)
+        negated = expr.negated
+
+        def kernel(batch: ColumnBatch) -> List[object]:
+            out = []
+            append = out.append
+            for value in of(batch):
+                if value is None:
+                    append(None)
+                elif value in values:
+                    append(not negated)
+                elif has_null:
+                    append(None)
+                else:
+                    append(negated)
+            return out
+
+        return kernel
+
+    def _lower_Like(self, expr: ast.Like) -> KernelFn:
+        if not isinstance(expr.pattern, ast.Literal):
+            raise _Fallback
+        pattern = expr.pattern.value
+        of = self._child(expr.operand)
+        negated = expr.negated
+        if pattern is None:
+            return lambda batch: [None] * batch.length
+        match = like_regex(pattern).match
+        if negated:
+            return lambda batch: [
+                None if v is None else match(v) is None for v in of(batch)
+            ]
+        return lambda batch: [
+            None if v is None else match(v) is not None for v in of(batch)
+        ]
+
+    def _lower_Extract(self, expr: ast.Extract) -> KernelFn:
+        inner = self._child(expr.operand)
+        attr = expr.unit.lower()
+        return lambda batch: [
+            None if v is None else getattr(v, attr) for v in inner(batch)
+        ]
+
+    def _lower_Cast(self, expr: ast.Cast) -> KernelFn:
+        inner = self._child(expr.operand)
+        target = expr.target
+        return lambda batch: [
+            None if v is None else cast_value(v, target)
+            for v in inner(batch)
+        ]
+
+    def _lower_FunctionCall(self, expr: ast.FunctionCall) -> KernelFn:
+        if ast.is_aggregate_call(expr):
+            raise _Fallback  # the row compiler raises the proper BindError
+        function = scalar_function(expr.name)
+        if function is None:
+            raise _Fallback
+        arg_kernels = [self._child(arg) for arg in expr.args]
+        impl = function.impl
+        if len(arg_kernels) == 1:
+            single = arg_kernels[0]
+            return lambda batch: [impl([v]) for v in single(batch)]
+
+        def kernel(batch: ColumnBatch) -> List[object]:
+            columns = [kernel_fn(batch) for kernel_fn in arg_kernels]
+            return [impl(list(values)) for values in zip(*columns)]
+
+        return kernel
+
+
+def _strict_kernel(operate) -> Callable[[KernelFn, KernelFn], KernelFn]:
+    def maker(lk: KernelFn, rk: KernelFn) -> KernelFn:
+        return lambda batch: [
+            None if a is None or b is None else operate(a, b)
+            for a, b in zip(lk(batch), rk(batch))
+        ]
+
+    return maker
+
+
+def _divide_kernel(lk: KernelFn, rk: KernelFn) -> KernelFn:
+    def kernel(batch: ColumnBatch) -> List[object]:
+        out = []
+        append = out.append
+        for a, b in zip(lk(batch), rk(batch)):
+            if a is None or b is None:
+                append(None)
+            elif b == 0:
+                raise ExecutionError("division by zero")
+            else:
+                append(a / b)
+        return out
+
+    return kernel
+
+
+def _concat_kernel(lk: KernelFn, rk: KernelFn) -> KernelFn:
+    return lambda batch: [
+        None if a is None or b is None else str(a) + str(b)
+        for a, b in zip(lk(batch), rk(batch))
+    ]
+
+
+_BINARY_KERNELS = {
+    "=": _strict_kernel(lambda a, b: a == b),
+    "<>": _strict_kernel(lambda a, b: a != b),
+    "!=": _strict_kernel(lambda a, b: a != b),
+    "<": _strict_kernel(lambda a, b: a < b),
+    ">": _strict_kernel(lambda a, b: a > b),
+    "<=": _strict_kernel(lambda a, b: a <= b),
+    ">=": _strict_kernel(lambda a, b: a >= b),
+    "+": _strict_kernel(lambda a, b: a + b),
+    "-": _strict_kernel(lambda a, b: a - b),
+    "*": _strict_kernel(lambda a, b: a * b),
+    "%": _strict_kernel(lambda a, b: a % b),
+    "/": _divide_kernel,
+    "||": _concat_kernel,
+}
+
+
+# ---------------------------------------------------------------------------
+# grouped-aggregation kernels
+# ---------------------------------------------------------------------------
+
+
+class GroupedAggregator:
+    """Columnar grouped aggregation with flat per-group state arrays.
+
+    Group keys map to dense group ids; each simple (non-DISTINCT)
+    aggregate keeps one or two flat lists indexed by group id and is
+    updated in a tight per-column loop.  DISTINCT aggregates keep a
+    per-group seen-set.  Results are bit-identical to the row-mode
+    ``_Accumulator`` path.
+    """
+
+    def __init__(self, specs: Sequence):
+        # specs: list of AggregateSpec (only .func/.distinct used here).
+        self._specs = list(specs)
+        self.keymap = {}  # key tuple (or scalar) -> group id
+        self._counts = [[] for _ in self._specs]
+        self._totals = [[] for _ in self._specs]  # SUM/AVG totals
+        self._extremes = [[] for _ in self._specs]  # MIN/MAX
+        self._seen = [
+            [] if spec.distinct else None for spec in self._specs
+        ]
+
+    # -- group-id assignment ---------------------------------------------
+
+    def group_ids(self, keys: Sequence[object]) -> List[int]:
+        """Map a column of key values to dense group ids, adding new
+        groups as they appear (in first-occurrence order, matching the
+        row engine's dict insertion order)."""
+        keymap = self.keymap
+        get = keymap.get
+        ids = []
+        append = ids.append
+        for key in keys:
+            gid = get(key)
+            if gid is None:
+                gid = len(keymap)
+                keymap[key] = gid
+                self._grow()
+            append(gid)
+        return ids
+
+    def _grow(self) -> None:
+        for index, spec in enumerate(self._specs):
+            self._counts[index].append(0)
+            self._totals[index].append(None)
+            self._extremes[index].append(None)
+            if spec.distinct:
+                self._seen[index].append(set())
+
+    def ensure_group(self, key: object) -> int:
+        """Register ``key`` (for SQL's one-row scalar aggregate)."""
+        gid = self.keymap.get(key)
+        if gid is None:
+            gid = len(self.keymap)
+            self.keymap[key] = gid
+            self._grow()
+        return gid
+
+    # -- per-batch accumulation -------------------------------------------
+
+    def accumulate(
+        self,
+        spec_index: int,
+        gids: Sequence[int],
+        values: Optional[Sequence[object]],
+    ) -> None:
+        """Fold one batch of ``values`` (None = COUNT(*)) into the
+        state of aggregate ``spec_index`` along the ``gids`` mapping."""
+        spec = self._specs[spec_index]
+        counts = self._counts[spec_index]
+        if spec.distinct:
+            seen = self._seen[spec_index]
+            totals = self._totals[spec_index]
+            extremes = self._extremes[spec_index]
+            func = spec.func
+            for gid, value in zip(gids, values):
+                if value is None or value in seen[gid]:
+                    continue
+                seen[gid].add(value)
+                counts[gid] += 1
+                if func in ("SUM", "AVG"):
+                    current = totals[gid]
+                    totals[gid] = value if current is None else current + value
+                elif func == "MIN":
+                    current = extremes[gid]
+                    if current is None or value < current:
+                        extremes[gid] = value
+                elif func == "MAX":
+                    current = extremes[gid]
+                    if current is None or value > current:
+                        extremes[gid] = value
+            return
+
+        func = spec.func
+        if values is None:  # COUNT(*)
+            for gid in gids:
+                counts[gid] += 1
+            return
+        if func == "COUNT":
+            for gid, value in zip(gids, values):
+                if value is not None:
+                    counts[gid] += 1
+            return
+        if func in ("SUM", "AVG"):
+            totals = self._totals[spec_index]
+            for gid, value in zip(gids, values):
+                if value is not None:
+                    counts[gid] += 1
+                    current = totals[gid]
+                    totals[gid] = value if current is None else current + value
+            return
+        extremes = self._extremes[spec_index]
+        if func == "MIN":
+            for gid, value in zip(gids, values):
+                if value is not None:
+                    current = extremes[gid]
+                    if current is None or value < current:
+                        extremes[gid] = value
+            return
+        if func == "MAX":
+            for gid, value in zip(gids, values):
+                if value is not None:
+                    current = extremes[gid]
+                    if current is None or value > current:
+                        extremes[gid] = value
+            return
+        raise ExecutionError(f"unsupported aggregate {func!r}")
+
+    # -- results ----------------------------------------------------------
+
+    def result(self, spec_index: int, gid: int) -> object:
+        spec = self._specs[spec_index]
+        func = spec.func
+        if func == "COUNT":
+            return self._counts[spec_index][gid]
+        if func == "SUM":
+            return self._totals[spec_index][gid]
+        if func == "AVG":
+            count = self._counts[spec_index][gid]
+            if count == 0:
+                return None
+            return self._totals[spec_index][gid] / count
+        return self._extremes[spec_index][gid]
+
+    def group_count(self) -> int:
+        return len(self.keymap)
+
+    def emit_rows(self, key_is_tuple: bool):
+        """Yield result rows in first-occurrence group order."""
+        spec_range = range(len(self._specs))
+        for key, gid in self.keymap.items():
+            aggregates = tuple(self.result(i, gid) for i in spec_range)
+            if key_is_tuple:
+                yield key + aggregates
+            else:
+                yield (key,) + aggregates
+
+
+__all__ = [
+    "BATCH_SIZE",
+    "ColumnBatch",
+    "GroupedAggregator",
+    "KernelFn",
+    "batches_from_rows",
+    "compile_filter_kernel",
+    "compile_kernel",
+    "row_loop_kernel",
+]

@@ -53,6 +53,7 @@ class Deployment:
         middleware_node: str = MIDDLEWARE_NODE,
         client_node: str = CLIENT_NODE,
         middleware_site: Optional[str] = None,
+        execution_mode: str = "batch",
     ):
         """Create databases named per ``profiles`` (name → vendor).
 
@@ -61,7 +62,8 @@ class Deployment:
         middleware/mediator node: defaults to the DBMS LAN for the
         runtime experiments ("onprem") and to the cloud for geo setups;
         pass ``"cloud"`` explicitly for the §VI-C managed-cloud cost
-        scenario.
+        scenario.  ``execution_mode`` selects every member engine's
+        executor: ``"batch"`` (vectorized, default) or ``"row"``.
         """
         names = list(profiles)
         if topology == "onprem":
@@ -85,9 +87,15 @@ class Deployment:
         self.middleware_node = middleware_node
         self.client_node = client_node
 
+        self.execution_mode = execution_mode
         self.databases: Dict[str, Database] = {}
         for name, profile in profiles.items():
-            self.databases[name] = Database(name, profile=profile, node=name)
+            self.databases[name] = Database(
+                name,
+                profile=profile,
+                node=name,
+                execution_mode=execution_mode,
+            )
 
         self._wire_servers()
 
@@ -143,7 +151,12 @@ class Deployment:
         if name in self.databases:
             raise CatalogError(f"database {name!r} already exists")
         self.network.add_node(name, site=node_site or self.middleware_site)
-        database = Database(name, profile=profile, node=name)
+        database = Database(
+            name,
+            profile=profile,
+            node=name,
+            execution_mode=self.execution_mode,
+        )
         for remote in self.databases.values():
             database.register_server(
                 remote.name,

@@ -121,17 +121,22 @@ def shift_date(value: datetime.date, amount: int, unit: str) -> datetime.date:
 _LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
 
 
-def like_matches(value: Optional[str], pattern: Optional[str]) -> Optional[bool]:
-    """SQL LIKE with ``%`` and ``_`` wildcards; NULL-propagating."""
-    if value is None or pattern is None:
-        return None
+def like_regex(pattern: str) -> "re.Pattern[str]":
+    """The compiled (and cached) regex implementing a LIKE pattern."""
     regex = _LIKE_CACHE.get(pattern)
     if regex is None:
         escaped = re.escape(pattern).replace("%", ".*").replace("_", ".")
         regex = re.compile(f"^{escaped}$", re.DOTALL)
         if len(_LIKE_CACHE) < 4096:
             _LIKE_CACHE[pattern] = regex
-    return regex.match(value) is not None
+    return regex
+
+
+def like_matches(value: Optional[str], pattern: Optional[str]) -> Optional[bool]:
+    """SQL LIKE with ``%`` and ``_`` wildcards; NULL-propagating."""
+    if value is None or pattern is None:
+        return None
+    return like_regex(pattern).match(value) is not None
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +233,11 @@ def _common_of_all(types: List[SQLType]) -> SQLType:
 def is_scalar_function(name: str) -> bool:
     """Whether ``name`` is a supported (non-aggregate) scalar function."""
     return name.upper() in _SCALAR_FUNCTIONS
+
+
+def scalar_function(name: str) -> Optional[_ScalarFunction]:
+    """Look up a scalar function entry (the kernel compiler's hook)."""
+    return _SCALAR_FUNCTIONS.get(name.upper())
 
 
 # ---------------------------------------------------------------------------
