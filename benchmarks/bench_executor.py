@@ -23,12 +23,12 @@ import pathlib
 import platform
 import random
 import sys
-import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.engine.database import Database  # noqa: E402
+from repro.obs.clock import wall_now  # noqa: E402
 from repro.relational.schema import Field, Schema  # noqa: E402
 from repro.sql.types import DOUBLE, INTEGER, varchar  # noqa: E402
 
@@ -86,9 +86,9 @@ def time_query(database: Database, sql: str, repeat: int):
     best = float("inf")
     result = None
     for _ in range(repeat):
-        start = time.perf_counter()
+        start = wall_now()
         result = database.execute(sql)
-        elapsed = time.perf_counter() - start
+        elapsed = wall_now() - start
         best = min(best, elapsed)
     return best, len(result.rows)
 

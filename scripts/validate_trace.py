@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file exported by ``--trace``.
+
+Usage: ``python scripts/validate_trace.py trace.json``
+
+Exits non-zero (with the first violation on stderr) if the file does
+not conform to the trace-event subset ``repro.obs`` emits; prints a
+one-line summary otherwise.  CI runs this against the demo's export so
+the trace schema cannot silently drift.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.context import validate_chrome_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: validate_trace.py TRACE.json", file=sys.stderr)
+        return 2
+    path = pathlib.Path(argv[0])
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        count = validate_chrome_trace(payload)
+    except ValueError as exc:
+        print(f"invalid trace {path}: {exc}", file=sys.stderr)
+        return 1
+    phases = {
+        event["name"]
+        for event in payload["traceEvents"]
+        if event.get("cat") == "phase"
+    }
+    missing = {"prep", "lopt", "ann", "exec"} - phases
+    if missing:
+        print(
+            f"invalid trace {path}: missing phase span(s) "
+            f"{sorted(missing)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{path}: {count} trace events OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

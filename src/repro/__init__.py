@@ -29,6 +29,8 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.engine` — the single-node DBMS (storage, planner, executor,
   EXPLAIN, SQL/MED foreign tables)
 * :mod:`repro.net` — simulated network and transfer accounting
+* :mod:`repro.obs` — per-query observability: span tracer, metrics,
+  Chrome trace / EXPLAIN ANALYZE exports
 * :mod:`repro.federation` — deployments of autonomous DBMSes
 * :mod:`repro.connect` — DBMS connectors (metadata / costing / DDL)
 * :mod:`repro.core` — **XDB**: the cross-database optimizer and the

@@ -2,11 +2,16 @@
 
 Runs the paper's motivating pandemic query through XDB and the three
 baselines on freshly generated data, printing the delegation plan, the
-DDL cascade, and a runtime/transfer comparison.
+DDL cascade, an EXPLAIN ANALYZE-style span tree, and a runtime/transfer
+comparison.  ``--trace out.json`` additionally exports the XDB run's
+span tree as Chrome trace-event JSON (load it in ``chrome://tracing``
+or Perfetto).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
 
 from repro.baselines.garlic import GarlicSystem
@@ -14,11 +19,23 @@ from repro.baselines.presto import PrestoSystem
 from repro.baselines.sclera import ScleraSystem
 from repro.bench.reporting import format_table, print_banner
 from repro.core.client import XDB
+from repro.obs.context import QueryContext, validate_chrome_trace
 from repro.workloads.pandemic import CHO_QUERY, build_pandemic_deployment
 
 
 def main(argv=None) -> int:
-    del argv
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="demo: the paper's pandemic query on XDB + baselines",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the XDB run's Chrome trace-event JSON to PATH",
+    )
+    args = parser.parse_args(argv)
+
     deployment = build_pandemic_deployment(
         citizens=1_000, vaccinations=1_500, measurements=2_500
     )
@@ -40,6 +57,17 @@ def main(argv=None) -> int:
     for db, ddl in report.deployed.ddl_log:
         print(f"@{db}: {ddl}")
 
+    print_banner("explain analyze (span tree)")
+    print(report.explain_analyze())
+
+    if args.trace:
+        payload = report.to_chrome_trace()
+        validate_chrome_trace(payload)
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+        print(f"\nwrote Chrome trace ({len(payload['traceEvents'])} "
+              f"events) to {args.trace}")
+
     print_banner("XDB vs. the mediator baselines")
     rows = [
         [
@@ -53,11 +81,9 @@ def main(argv=None) -> int:
         PrestoSystem(deployment, workers=4),
         ScleraSystem(deployment),
     ):
-        mark = len(deployment.network.log)
-        baseline = system.run(CHO_QUERY)
-        moved = sum(
-            r.payload_bytes for r in deployment.network.log[mark:]
-        ) / 1e6
+        with QueryContext(label=type(system).__name__) as ctx:
+            baseline = system.run(CHO_QUERY)
+        moved = sum(r.payload_bytes for r in ctx.transfers) / 1e6
         rows.append([baseline.system, baseline.total_seconds, moved])
     print(format_table(["system", "total_s", "moved_MB"], rows))
     print(

@@ -1,9 +1,11 @@
 """Runners: execute one query on one system and normalize the metrics.
 
-Every runner resets the deployment's ledgers first, so each
+Every run executes under a :class:`~repro.obs.context.QueryContext`
+(XDB creates its own; baselines are wrapped here), so each
 :class:`RunRecord` isolates exactly one query execution — runtime,
 data-transfer decomposition (intra-federation vs. to-the-cloud), and
-plan statistics where applicable.
+plan statistics where applicable — from the transfers *attributed to
+that context*, never from ledger index marks.
 """
 
 from __future__ import annotations
@@ -18,6 +20,8 @@ from repro.core.client import XDB
 from repro.engine.result import Result
 from repro.errors import ReproError
 from repro.federation.deployment import Deployment
+from repro.net.metrics import site_breakdown
+from repro.obs.context import QueryContext
 
 
 @dataclass
@@ -38,6 +42,8 @@ class RunRecord:
     rows_returned: int
     result: Optional[Result] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: flat span/transfer totals from the run's observation context
+    trace_summary: Optional[Dict[str, float]] = None
 
     @property
     def megabytes_total(self) -> float:
@@ -52,24 +58,6 @@ class RunRecord:
         return self.bytes_cross_site / 1_000_000.0
 
 
-def _network_slices(deployment: Deployment, mark: int):
-    network = deployment.network
-    window = network.log[mark:]
-    total = sum(record.payload_bytes for record in window)
-    to_cloud = sum(
-        record.payload_bytes
-        for record in window
-        if network.node_site(record.dst) == "cloud"
-        and network.node_site(record.src) != "cloud"
-    )
-    cross_site = sum(
-        record.payload_bytes
-        for record in window
-        if network.is_cross_site(record.src, record.dst)
-    )
-    return total, to_cloud, cross_site
-
-
 def run_xdb(
     deployment: Deployment,
     query: str,
@@ -79,9 +67,11 @@ def run_xdb(
 ) -> RunRecord:
     """Execute ``query`` through XDB and collect normalized metrics."""
     system = xdb or XDB(deployment)
-    mark = len(deployment.network.log)
     report = system.submit(query)
-    total, to_cloud, cross_site = _network_slices(deployment, mark)
+    ctx = report.context
+    total, to_cloud, cross_site = site_breakdown(
+        ctx.transfers, deployment.network
+    )
     processing = sum(
         timing.proc_seconds for timing in report.schedule.tasks.values()
     )
@@ -106,6 +96,7 @@ def run_xdb(
             "consultations": float(report.consultations),
             "tasks": float(report.plan.task_count()),
         },
+        trace_summary=ctx.trace_summary(),
     )
     return record
 
@@ -117,9 +108,13 @@ def _run_baseline(
     query_name: str,
     keep_result: bool,
 ) -> RunRecord:
-    mark = len(deployment.network.log)
-    report = system.run(query)
-    total, to_cloud, cross_site = _network_slices(deployment, mark)
+    # Baselines have no context of their own: wrap the run so their
+    # transfers are attributed to (and sliced from) a fresh one.
+    with QueryContext(label=f"{query_name}:{type(system).__name__}") as ctx:
+        report = system.run(query)
+    total, to_cloud, cross_site = site_breakdown(
+        ctx.transfers, deployment.network
+    )
     return RunRecord(
         system=report.system,
         query=query_name,
@@ -134,6 +129,7 @@ def _run_baseline(
         extra=dict(report.details)
         if hasattr(report, "details")
         else {},
+        trace_summary=ctx.trace_summary(),
     )
 
 

@@ -39,6 +39,7 @@ from repro.errors import (
 )
 from repro.health import HealthRegistry
 from repro.net.network import CONTROL_MESSAGE_BYTES, Network
+from repro.obs.runtime import current_context
 from repro.relational.schema import Schema
 from repro.sql import ast
 from repro.sql.render import render
@@ -163,10 +164,33 @@ class DBMSConnector:
         self.breaker_fastfails = 0
         self.backoff_seconds = 0.0
 
+    def _bump(self, counter: str, value: float = 1.0) -> None:
+        """Increment a lifetime instance counter and mirror it into the
+        active query's context-scoped metrics (if one is active)."""
+        setattr(self, counter, getattr(self, counter) + value)
+        ctx = current_context()
+        if ctx is not None:
+            ctx.metrics.inc(f"connector.{counter}", value, db=self.name)
+
     # -- resilience -------------------------------------------------------------
 
     def _guarded(self, op: str, fn: Callable[[], T]) -> T:
         """Run ``fn`` with breaker gating, faults, timeout, and retry.
+
+        One tracer span covers the whole engine call (all attempts);
+        retries, backoff, breaker fast-fails, and give-ups surface as
+        span events on it.
+        """
+        ctx = current_context()
+        if ctx is None:
+            return self._guarded_attempts(op, fn, None)
+        with ctx.tracer.span(
+            f"{op}@{self.name}", kind="call", db=self.name, op=op
+        ):
+            return self._guarded_attempts(op, fn, ctx)
+
+    def _guarded_attempts(self, op: str, fn: Callable[[], T], ctx) -> T:
+        """The guarded retry loop behind :meth:`_guarded`.
 
         An open circuit breaker fails the call fast with
         :class:`CircuitOpenError` before the retry loop or the fault
@@ -182,7 +206,11 @@ class DBMSConnector:
         policy = self.retry_policy
         registry = self.health
         if registry is not None and not registry.allow(self.name):
-            self.breaker_fastfails += 1
+            self._bump("breaker_fastfails")
+            if ctx is not None:
+                ctx.tracer.add_event(
+                    "breaker-fastfail", db=self.name, op=op
+                )
             raise CircuitOpenError(
                 f"circuit breaker for DBMS {self.name!r} is open; "
                 f"failing {op!r} fast until the cool-down elapses",
@@ -197,21 +225,37 @@ class DBMSConnector:
                 self._check_timeout(op)
                 result = fn()
             except RETRYABLE_ERRORS:
-                self.failures += 1
+                self._bump("failures")
                 if attempt >= policy.max_attempts:
-                    self.giveups += 1
+                    self._bump("giveups")
+                    if ctx is not None:
+                        ctx.tracer.add_event(
+                            "giveup", db=self.name, op=op, attempts=attempt
+                        )
                     if registry is not None:
                         registry.record_failure(
                             self.name, f"retry budget exhausted ({op})"
                         )
                     raise
-                self.retries += 1
-                self.backoff_seconds += policy.backoff_for(
-                    attempt, rng=self._backoff_rng
-                )
+                self._bump("retries")
+                backoff = policy.backoff_for(attempt, rng=self._backoff_rng)
+                self.backoff_seconds += backoff
+                if ctx is not None:
+                    ctx.add_backoff(self.name, backoff)
+                    ctx.tracer.add_event(
+                        "retry",
+                        db=self.name,
+                        op=op,
+                        attempt=attempt,
+                        backoff_seconds=backoff,
+                    )
             except EngineUnavailableError as exc:
                 if exc.db is None:
                     exc.db = self.name
+                if ctx is not None:
+                    ctx.tracer.add_event(
+                        "engine-unavailable", db=self.name, op=op
+                    )
                 if registry is not None:
                     registry.record_failure(
                         self.name, f"engine unavailable ({op})"
@@ -305,7 +349,7 @@ class DBMSConnector:
     # -- metadata ---------------------------------------------------------------
 
     def _control(self, tag: str) -> None:
-        self.control_messages += 1
+        self._bump("control_messages")
         self.network.record_control_message(
             self.middleware_node, self.node, tag=tag
         )
@@ -351,7 +395,7 @@ class DBMSConnector:
         """One consultation round-trip: remote EXPLAIN, calibrated."""
 
         def call() -> CalibratedExplain:
-            self.consultations += 1
+            self._bump("consultations")
             self._control("consult")
             info = self.database.explain_select(query)
             return CalibratedExplain(
@@ -385,7 +429,7 @@ class DBMSConnector:
         """
 
         def call() -> None:
-            self.consultations += 1
+            self._bump("consultations")
             self._control("consult")
 
         self._guarded("consult", call)

@@ -5,15 +5,20 @@ delegates, then hands the client an *XDB query* which the client runs on
 the root DBMS — XDB itself never touches the data path.  The report
 carries the §VI-E phase breakdown (prep / lopt / ann / exec), the
 delegation plan with per-edge movement statistics (Table IV), and the
-transfer ledger slice for the data-movement experiments (Fig. 14).
+transfer summary for the data-movement experiments (Fig. 14).
 
-Phase times combine real middleware CPU time with simulated network
-time for every control message, consultation, and data transfer.
+Every submission runs inside one :class:`~repro.obs.context.
+QueryContext`: the phase breakdown, transfer summary, resilience
+counters, and recovery report are all *views* over its span tree and
+context-scoped metrics — phase times combine real middleware CPU
+(span wall time) with the simulated network and retry-backoff seconds
+attributed to the phase's subtree (span sim time).  Nothing is read
+from global counters or ledger index marks, so concurrent or repeated
+submissions cannot leak observations into each other.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -37,15 +42,15 @@ from repro.errors import (
 )
 from repro.federation.deployment import Deployment
 from repro.health import BreakerEvent
-from repro.net.metrics import (
-    ResilienceSummary,
-    TransferSummary,
-    snapshot_resilience,
-    summarize,
-    summarize_resilience,
-)
+from repro.net.metrics import ResilienceSummary, TransferSummary
+from repro.obs.clock import wall_now
+from repro.obs.context import QueryContext
 from repro.sql import ast
 from repro.sql.parser import parse_statement
+
+#: transfer tags on the execution critical path for prepared
+#: re-executions (no annotation phase, so no consult/probe traffic)
+_PREPARED_CONTROL_TAGS = ("delegation", "control")
 
 
 @dataclass
@@ -120,6 +125,9 @@ class XDBReport:
     #: plan-repair activity (None for prepared-query re-executions,
     #: which re-run a frozen deployment instead of re-planning)
     recovery: Optional[RecoveryReport] = None
+    #: the observation context the submission ran under: span tree,
+    #: context-scoped metrics, attributed transfers, trace exports
+    context: Optional[QueryContext] = None
 
     @property
     def total_seconds(self) -> float:
@@ -158,6 +166,21 @@ class XDBReport:
         if self.recovery is not None and self.recovery.repaired:
             lines.append(f"recovery: {self.recovery.describe()}")
         return "\n".join(lines)
+
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE-style span tree for this submission."""
+        if self.context is None:
+            return "no observation context recorded"
+        header = "phases: " + ", ".join(
+            f"{name}={seconds:.3f}s" for name, seconds in self.phases.items()
+        )
+        return header + "\n" + self.context.explain_tree()
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """Chrome trace-event JSON for this submission's span tree."""
+        if self.context is None:
+            raise OptimizerError("no observation context recorded")
+        return self.context.to_chrome_trace()
 
 
 class XDB:
@@ -218,157 +241,157 @@ class XDB:
         holder of a table is down) propagate immediately.
         """
         network = self.deployment.network
-        ledger = network.log
         health = self.deployment.health
-        resilience_base = snapshot_resilience(self.connectors)
-        events_mark = len(health.events)
         recovery = RecoveryReport()
         budget = self.repair_budget
+        label = query if isinstance(query, str) else "<ast>"
+        ctx = QueryContext(label=label)
+        with ctx:
+            tracer = ctx.tracer
 
-        # --- prep: parse + gather metadata through the connectors -------
-        mark = len(ledger)
-        backoff_mark = self._total_backoff()
-        cpu_start = time.perf_counter()
-        select = self._parse(query)
-        if refresh_metadata or not self._metadata_fresh:
-            self.catalog.refresh()
-            self._metadata_fresh = True
-        prep_seconds = self._phase_seconds(
-            cpu_start, ledger, mark, backoff_mark
-        )
+            # --- prep: parse + gather metadata through the connectors ---
+            with tracer.span("prep", kind="phase") as prep_span:
+                with tracer.span("parse", kind="step"):
+                    select = self._parse(query)
+                if refresh_metadata or not self._metadata_fresh:
+                    with tracer.span("catalog-refresh", kind="step"):
+                        self.catalog.refresh()
+                    self._metadata_fresh = True
 
-        # --- lopt: logical optimization (pure middleware CPU) ------------
-        mark = len(ledger)
-        backoff_mark = self._total_backoff()
-        cpu_start = time.perf_counter()
-        logical_plan = self.optimizer.optimize(select)
-        lopt_seconds = self._phase_seconds(
-            cpu_start, ledger, mark, backoff_mark
-        )
+            # --- lopt: logical optimization (pure middleware CPU) -------
+            with tracer.span("lopt", kind="phase") as lopt_span:
+                with tracer.span("optimize", kind="step"):
+                    logical_plan = self.optimizer.optimize(select)
 
-        # --- ann: plan annotation + finalization (consulting) ------------
-        mark = len(ledger)
-        backoff_mark = self._total_backoff()
-        cpu_start = time.perf_counter()
-        while True:
-            try:
-                annotation = self.annotator.annotate(logical_plan)
-                dplan = self.finalizer.finalize(logical_plan, annotation)
-                break
-            except EngineUnavailableError as exc:
-                db = self._unavailable_db(exc)
-                if db is None or budget <= 0:
-                    raise
-                budget -= 1
-                recovery.repair_attempts += 1
-                recovery.repaired_dbs.append(db)
-                health.report_outage(
-                    db, "annotation-time consultation failed"
-                )
-        recovery.placement_before = self._placement(dplan)
-        ann_seconds = self._phase_seconds(
-            cpu_start, ledger, mark, backoff_mark
-        )
-
-        # --- exec: delegation DDL + decentralized execution ---------------
-        mark = len(ledger)
-        backoff_mark = self._total_backoff()
-        cpu_start = time.perf_counter()
-        repair_start: Optional[Tuple[float, int, float]] = None
-        while True:
-            deployed = None
-            try:
-                if dplan is None:
-                    # Re-plan around the outage: the annotator now sees
-                    # the open breaker, so replicated tables land on a
-                    # healthy holder and Rule 4 drops the dead candidate.
-                    annotation = self.annotator.annotate(logical_plan)
-                    dplan = self.finalizer.finalize(
-                        logical_plan, annotation
-                    )
-                deployed = self.delegator.delegate(dplan)
-                root_connector = self.connectors[deployed.root_db]
-                result = root_connector.run_query(
-                    deployed.xdb_query, self.deployment.client_node
-                )
-                break
-            except (EngineUnavailableError, DelegationError) as exc:
-                db = self._unavailable_db(exc)
-                if db is None or budget <= 0:
-                    raise
-                budget -= 1
-                recovery.repair_attempts += 1
-                recovery.repaired_dbs.append(db)
-                if repair_start is None:
-                    repair_start = (
-                        time.perf_counter(),
-                        len(ledger),
-                        self._total_backoff(),
-                    )
-                # Trip the breaker FIRST so the best-effort cleanup of
-                # the partial deployment fails fast on the dead engine
-                # instead of burning its retry budget per object.
-                health.report_outage(db, "execution failed")
-                if deployed is not None:
+            # --- ann: plan annotation + finalization (consulting) -------
+            with tracer.span("ann", kind="phase") as ann_span:
+                while True:
                     try:
-                        deployed.cleanup()
-                    except ReproError:
-                        pass
-                dplan = None
-        if repair_start is not None:
-            repair_cpu, repair_mark, repair_backoff = repair_start
-            recovery.repair_seconds = (
-                (time.perf_counter() - repair_cpu)
-                + sum(r.seconds for r in ledger[repair_mark:])
-                + (self._total_backoff() - repair_backoff)
+                        with tracer.span("annotate", kind="step"):
+                            annotation = self.annotator.annotate(
+                                logical_plan
+                            )
+                        with tracer.span("finalize", kind="step"):
+                            dplan = self.finalizer.finalize(
+                                logical_plan, annotation
+                            )
+                        break
+                    except EngineUnavailableError as exc:
+                        db = self._unavailable_db(exc)
+                        if db is None or budget <= 0:
+                            raise
+                        budget -= 1
+                        recovery.repair_attempts += 1
+                        recovery.repaired_dbs.append(db)
+                        tracer.add_event("repair", db=db, phase="ann")
+                        health.report_outage(
+                            db, "annotation-time consultation failed"
+                        )
+                recovery.placement_before = self._placement(dplan)
+
+            # --- exec: delegation DDL + decentralized execution ----------
+            with tracer.span("exec", kind="phase") as exec_span:
+                repair_start: Optional[Tuple[float, float]] = None
+                while True:
+                    deployed = None
+                    try:
+                        if dplan is None:
+                            # Re-plan around the outage: the annotator
+                            # now sees the open breaker, so replicated
+                            # tables land on a healthy holder and Rule 4
+                            # drops the dead candidate.
+                            with tracer.span("annotate", kind="step"):
+                                annotation = self.annotator.annotate(
+                                    logical_plan
+                                )
+                            with tracer.span("finalize", kind="step"):
+                                dplan = self.finalizer.finalize(
+                                    logical_plan, annotation
+                                )
+                        with tracer.span("delegate", kind="step"):
+                            deployed = self.delegator.delegate(dplan)
+                        root_connector = self.connectors[deployed.root_db]
+                        with tracer.span("execute", kind="step"):
+                            result = root_connector.run_query(
+                                deployed.xdb_query,
+                                self.deployment.client_node,
+                            )
+                        break
+                    except (EngineUnavailableError, DelegationError) as exc:
+                        db = self._unavailable_db(exc)
+                        if db is None or budget <= 0:
+                            raise
+                        budget -= 1
+                        recovery.repair_attempts += 1
+                        recovery.repaired_dbs.append(db)
+                        if repair_start is None:
+                            repair_start = (wall_now(), tracer.sim_now)
+                        tracer.add_event("repair", db=db, phase="exec")
+                        # Trip the breaker FIRST so the best-effort
+                        # cleanup of the partial deployment fails fast on
+                        # the dead engine instead of burning its retry
+                        # budget per object.
+                        health.report_outage(db, "execution failed")
+                        if deployed is not None:
+                            try:
+                                deployed.cleanup()
+                            except ReproError:
+                                pass
+                        dplan = None
+                if repair_start is not None:
+                    repair_wall, repair_sim = repair_start
+                    recovery.repair_seconds = (
+                        (wall_now() - repair_wall)
+                        + (tracer.sim_now - repair_sim)
+                    )
+                recovery.placement = self._placement(dplan)
+                attribute_edge_stats(deployed, exec_span.subtree_records())
+                with tracer.span("schedule", kind="step"):
+                    schedule = simulate_schedule(
+                        deployed,
+                        self.connectors,
+                        network,
+                        self.deployment.client_node,
+                        result_bytes=result.byte_size(),
+                    )
+
+            # Middleware CPU during exec is not on the critical path
+            # (the DBMSes run decentrally); control messages are, and so
+            # are simulated retry backoff spent on the DDL cascade and
+            # any repair-time re-consultations — all read off the exec
+            # span's subtree.
+            exec_seconds = (
+                schedule.total_seconds
+                + ctx.control_seconds(exec_span)
+                + ctx.backoff_in(exec_span)
             )
-        recovery.placement = self._placement(dplan)
-        recovery.breaker_transitions = list(health.events[events_mark:])
-        exec_window = ledger[mark:]
-        attribute_edge_stats(deployed, exec_window)
-        schedule = simulate_schedule(
-            deployed,
-            self.connectors,
-            network,
-            self.deployment.client_node,
-            result_bytes=result.byte_size(),
-        )
-        control_seconds = sum(
-            record.seconds
-            for record in exec_window
-            if record.tag in ("delegation", "control", "consult", "probe")
-        )
-        del cpu_start  # middleware CPU during exec is not on the critical
-        # path (the DBMSes run decentrally); control messages are, and
-        # so are simulated retry backoff spent on the DDL cascade and
-        # any repair-time re-consultations.
-        exec_seconds = (
-            schedule.total_seconds
-            + control_seconds
-            + (self._total_backoff() - backoff_mark)
-        )
-        transfers = summarize(exec_window)
+            transfers = ctx.transfer_summary(exec_span)
+            recovery.breaker_transitions = list(ctx.breaker_events)
 
-        if cleanup:
-            deployed.cleanup()
+            # Cleanup runs outside the exec span: its drops are not part
+            # of the execution window's transfer summary.
+            if cleanup:
+                deployed.cleanup()
 
-        return XDBReport(
-            result=result,
-            plan=dplan,
-            deployed=deployed,
-            annotation=annotation,
-            schedule=schedule,
-            phases={
-                "prep": prep_seconds,
-                "lopt": lopt_seconds,
-                "ann": ann_seconds,
-                "exec": exec_seconds,
-            },
-            transfers=transfers,
-            consultations=annotation.consultations,
-            resilience=summarize_resilience(self.connectors, resilience_base),
-            recovery=recovery,
-        )
+            report = XDBReport(
+                result=result,
+                plan=dplan,
+                deployed=deployed,
+                annotation=annotation,
+                schedule=schedule,
+                phases={
+                    "prep": ctx.phase_seconds(prep_span),
+                    "lopt": ctx.phase_seconds(lopt_span),
+                    "ann": ctx.phase_seconds(ann_span),
+                    "exec": exec_seconds,
+                },
+                transfers=transfers,
+                consultations=annotation.consultations,
+                resilience=ctx.resilience_summary(self.connectors),
+                recovery=recovery,
+                context=ctx,
+            )
+        return report
 
     def explain(self, query: Union[str, ast.Select]) -> str:
         """Produce the delegation plan (Table IV style) without executing."""
@@ -380,6 +403,24 @@ class XDB:
         annotation = self.annotator.annotate(logical_plan)
         dplan = self.finalizer.finalize(logical_plan, annotation)
         return dplan.describe()
+
+    def explain_analyze(
+        self,
+        query: Union[str, ast.Select],
+        cleanup: bool = True,
+        refresh_metadata: bool = False,
+    ) -> str:
+        """Run the query and render its observed span tree.
+
+        The cross-database analogue of ``EXPLAIN ANALYZE``: submits the
+        query, then prints the phase breakdown and every span (engine
+        calls, DDL statements, operator cardinalities, schedule tasks)
+        with its wall/simulated timings.
+        """
+        report = self.submit(
+            query, cleanup=cleanup, refresh_metadata=refresh_metadata
+        )
+        return report.explain_analyze()
 
     def plan_query(
         self, query: Union[str, ast.Select]
@@ -472,28 +513,16 @@ class XDB:
             node = node.__cause__ or node.__context__
         return None
 
-    def _total_backoff(self) -> float:
-        """Simulated retry-backoff seconds accrued across connectors."""
-        return sum(
-            connector.backoff_seconds
-            for connector in self.connectors.values()
-        )
-
-    def _phase_seconds(
-        self, cpu_start: float, ledger, mark: int, backoff_mark: float
-    ) -> float:
-        """Real middleware CPU plus simulated network and backoff time."""
-        cpu = time.perf_counter() - cpu_start
-        network = sum(record.seconds for record in ledger[mark:])
-        backoff = self._total_backoff() - backoff_mark
-        return cpu + network + backoff
-
 
 class PreparedQuery:
     """A delegated query kept deployed for repeated execution.
 
     Use as a context manager (or call :meth:`close`) so the short-lived
     views / foreign tables are dropped from the DBMSes afterwards.
+
+    Every :meth:`execute` runs under a *fresh* :class:`QueryContext`,
+    so repeated executions report identical, independent numbers —
+    counters cannot leak from one run into the next.
     """
 
     def __init__(self, xdb: XDB, deployed: DeployedQuery):
@@ -511,58 +540,56 @@ class PreparedQuery:
         if self._closed:
             raise OptimizerError("prepared query is closed")
         network = self._xdb.deployment.network
-        ledger = network.log
-        resilience_base = snapshot_resilience(self._xdb.connectors)
-        mark = len(ledger)
-        backoff_mark = self._xdb._total_backoff()
-        cpu_start = time.perf_counter()
-
-        if self.executions > 0:
-            # First execution already materialized during delegation.
-            self.deployed.refresh_materializations()
-        root_connector = self._xdb.connectors[self.deployed.root_db]
-        result = root_connector.run_query(
-            self.deployed.xdb_query, self._xdb.deployment.client_node
-        )
-        self.executions += 1
-
-        exec_window = ledger[mark:]
-        attribute_edge_stats(self.deployed, exec_window)
-        schedule = simulate_schedule(
-            self.deployed,
-            self._xdb.connectors,
-            network,
-            self._xdb.deployment.client_node,
-            result_bytes=result.byte_size(),
-        )
-        control_seconds = sum(
-            record.seconds
-            for record in exec_window
-            if record.tag in ("delegation", "control")
-        )
-        del cpu_start
-        backoff_seconds = self._xdb._total_backoff() - backoff_mark
-        return XDBReport(
-            result=result,
-            plan=self.deployed.plan,
-            deployed=self.deployed,
-            annotation=None,
-            schedule=schedule,
-            phases={
-                "prep": 0.0,
-                "lopt": 0.0,
-                "ann": 0.0,
-                "exec": (
-                    schedule.total_seconds
-                    + control_seconds
-                    + backoff_seconds
-                ),
-            },
-            transfers=summarize(exec_window),
-            resilience=summarize_resilience(
-                self._xdb.connectors, resilience_base
-            ),
-        )
+        ctx = QueryContext(label="prepared")
+        with ctx:
+            tracer = ctx.tracer
+            with tracer.span("exec", kind="phase") as exec_span:
+                if self.executions > 0:
+                    # First execution already materialized during
+                    # delegation; later ones rebuild the snapshots.
+                    with tracer.span("refresh", kind="step"):
+                        self.deployed.refresh_materializations()
+                root_connector = self._xdb.connectors[self.deployed.root_db]
+                with tracer.span("execute", kind="step"):
+                    result = root_connector.run_query(
+                        self.deployed.xdb_query,
+                        self._xdb.deployment.client_node,
+                    )
+                self.executions += 1
+                attribute_edge_stats(
+                    self.deployed, exec_span.subtree_records()
+                )
+                with tracer.span("schedule", kind="step"):
+                    schedule = simulate_schedule(
+                        self.deployed,
+                        self._xdb.connectors,
+                        network,
+                        self._xdb.deployment.client_node,
+                        result_bytes=result.byte_size(),
+                    )
+            report = XDBReport(
+                result=result,
+                plan=self.deployed.plan,
+                deployed=self.deployed,
+                annotation=None,
+                schedule=schedule,
+                phases={
+                    "prep": 0.0,
+                    "lopt": 0.0,
+                    "ann": 0.0,
+                    "exec": (
+                        schedule.total_seconds
+                        + ctx.control_seconds(
+                            exec_span, tags=_PREPARED_CONTROL_TAGS
+                        )
+                        + ctx.backoff_in(exec_span)
+                    ),
+                },
+                transfers=ctx.transfer_summary(exec_span),
+                resilience=ctx.resilience_summary(self._xdb.connectors),
+                context=ctx,
+            )
+        return report
 
     def close(self) -> None:
         """Drop every deployed object."""

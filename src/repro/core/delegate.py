@@ -36,6 +36,7 @@ from repro.errors import EngineUnavailableError, ReproError
 from repro.connect.connector import DBMSConnector
 from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
 from repro.errors import DelegationError
+from repro.obs.runtime import current_context
 from repro.relational.decompile import plan_to_select
 from repro.sql import ast
 from repro.sql.render import render
@@ -196,15 +197,25 @@ class DelegationEngine:
             connector = self._connectors.get(db)
             if connector is None or db == skip_db:
                 leaked.append((db, kind, name))
+                self._note("rollback-leaked", db=db, kind=kind, object=name)
                 continue
             try:
                 connector.execute_ddl(
                     ast.DropObject(kind=kind, name=name, if_exists=True)
                 )
                 rolled_back.append((db, kind, name))
+                self._note("rollback-drop", db=db, kind=kind, object=name)
             except ReproError:
                 leaked.append((db, kind, name))
+                self._note("rollback-leaked", db=db, kind=kind, object=name)
         return rolled_back, leaked
+
+    @staticmethod
+    def _note(name: str, **attributes: object) -> None:
+        """Annotate the active query trace (if any) with a point event."""
+        ctx = current_context()
+        if ctx is not None:
+            ctx.tracer.add_event(name, **attributes)
 
     # -- Algorithm 1 -------------------------------------------------------------
 
@@ -287,9 +298,9 @@ class DelegationEngine:
         statement: ast.Statement,
         ddl_log: List[Tuple[str, str]],
     ) -> None:
-        ddl_log.append(
-            (connector.name, render(statement, connector.database.dialect))
-        )
+        rendered = render(statement, connector.database.dialect)
+        ddl_log.append((connector.name, rendered))
+        self._note("ddl", db=connector.name, sql=rendered)
         connector.execute_ddl(statement)
 
     @staticmethod

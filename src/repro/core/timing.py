@@ -27,6 +27,7 @@ from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
 from repro.engine.cost import CardinalityEstimator, CostModel, ScanStats
 from repro.engine.fdw import PROTOCOL_CPU_FACTORS
 from repro.net.network import Network, TransferRecord
+from repro.obs.runtime import current_context
 from repro.relational import algebra
 
 
@@ -151,6 +152,9 @@ def simulate_schedule(
             proc_seconds=proc[task.task_id],
             finish=finish[task.task_id],
         )
+    ctx = current_context()
+    if ctx is not None:
+        ctx.record_schedule(result)
     return result
 
 

@@ -19,6 +19,7 @@ from repro.engine.profiles import EngineProfile, profile_for
 from repro.engine.result import Result
 from repro.engine.stats import TableStats
 from repro.errors import CatalogError, ExecutionError
+from repro.obs.runtime import current_context
 from repro.relational.builder import build_plan
 from repro.relational.expressions import compile_expression
 from repro.relational.schema import Field, Schema
@@ -119,6 +120,10 @@ class Database:
         """Parse and execute one SQL statement (query or DDL)."""
         self.trace.statements += 1
         self.trace.statement_log.append(sql)
+        ctx = current_context()
+        if ctx is not None:
+            ctx.tracer.add_event("sql", db=self.name, sql=sql)
+            ctx.metrics.inc("engine.statements", db=self.name)
         statement = parse_statement(sql)
         return self._dispatch(statement)
 
@@ -166,6 +171,9 @@ class Database:
         self.trace.rows_processed += physical_plan.total_rows_processed()
         self.trace.rows_returned += len(rows)
         self.trace.last_plan_text = physical_plan.pretty()
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record_operator_tree(physical_plan, db=self.name)
         return Result(plan.schema.unqualified(), rows)
 
     def explain_select(self, select) -> ExplainInfo:

@@ -100,6 +100,12 @@ class PhysicalPlan:
             child.total_rows_processed() for child in self.children()
         )
 
+    def walk(self) -> Iterator["PhysicalPlan"]:
+        """This operator and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
 
 class SeqScan(PhysicalPlan):
     """Full scan of a stored table."""

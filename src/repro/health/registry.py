@@ -31,6 +31,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs.runtime import current_context
+
 
 class BreakerState(enum.Enum):
     """Circuit-breaker state (classic three-state machine)."""
@@ -166,16 +168,18 @@ class CircuitBreaker:
     def _transition(self, new_state: BreakerState, reason: str) -> None:
         if new_state is self.state:
             return
-        self._events.append(
-            BreakerEvent(
-                db=self.db,
-                old_state=self.state,
-                new_state=new_state,
-                at_seconds=self._clock.now(),
-                reason=reason,
-            )
+        event = BreakerEvent(
+            db=self.db,
+            old_state=self.state,
+            new_state=new_state,
+            at_seconds=self._clock.now(),
+            reason=reason,
         )
+        self._events.append(event)
         self.state = new_state
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record_breaker_event(event)
 
 
 class HealthRegistry:

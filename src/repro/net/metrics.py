@@ -59,6 +59,33 @@ def summarize(
     return summary
 
 
+def site_breakdown(
+    records: Iterable[TransferRecord],
+    network: Network,
+    cloud_site: str = "cloud",
+) -> Tuple[int, int, int]:
+    """Byte totals ``(total, to_cloud, cross_site)`` over ``records``.
+
+    ``to_cloud`` counts bytes entering the cloud site from elsewhere
+    (mediator/middleware ingress); ``cross_site`` counts all bytes on
+    links crossing site boundaries (WAN traffic).  The records are the
+    query's *attributed* transfers (a :class:`~repro.obs.context.
+    QueryContext` stream), not a ledger index slice.
+    """
+    total = 0
+    to_cloud = 0
+    cross_site = 0
+    for record in records:
+        total += record.payload_bytes
+        src_site = network.node_site(record.src)
+        dst_site = network.node_site(record.dst)
+        if dst_site == cloud_site and src_site != cloud_site:
+            to_cloud += record.payload_bytes
+        if src_site != dst_site:
+            cross_site += record.payload_bytes
+    return total, to_cloud, cross_site
+
+
 # -- resilience counters ----------------------------------------------------
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError, NetworkPartitionedError
+from repro.obs.runtime import current_context
 
 #: 1 Gbit/s expressed in bytes per (simulated) second.
 GBIT = 125_000_000.0
@@ -251,6 +252,11 @@ class Network:
             seconds=seconds,
         )
         self.log.append(record)
+        # Attribute the transfer to the active query's observation
+        # context (span + simulated clock + metrics), if any.
+        ctx = current_context()
+        if ctx is not None:
+            ctx.record_transfer(record)
         return record
 
     def record_control_message(
