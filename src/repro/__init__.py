@@ -31,6 +31,8 @@ Package map — see DESIGN.md for the full inventory:
 * :mod:`repro.net` — simulated network and transfer accounting
 * :mod:`repro.obs` — per-query observability: span tracer, metrics,
   Chrome trace / EXPLAIN ANALYZE exports
+* :mod:`repro.qos` — overload robustness: admission control, query
+  deadlines, cooperative cancellation, graceful degradation
 * :mod:`repro.federation` — deployments of autonomous DBMSes
 * :mod:`repro.connect` — DBMS connectors (metadata / costing / DDL)
 * :mod:`repro.core` — **XDB**: the cross-database optimizer and the
@@ -43,7 +45,25 @@ Package map — see DESIGN.md for the full inventory:
 from repro.core.client import XDB, XDBReport
 from repro.engine.database import Database
 from repro.federation.deployment import Deployment
+from repro.qos import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    GateConfig,
+    QoSPolicy,
+)
 
 __version__ = "1.0.0"
 
-__all__ = ["XDB", "XDBReport", "Database", "Deployment", "__version__"]
+__all__ = [
+    "XDB",
+    "XDBReport",
+    "Database",
+    "Deployment",
+    "GateConfig",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "QoSPolicy",
+    "__version__",
+]

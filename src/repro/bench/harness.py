@@ -64,10 +64,16 @@ def run_xdb(
     query_name: str = "query",
     xdb: Optional[XDB] = None,
     keep_result: bool = True,
+    qos=None,
 ) -> RunRecord:
-    """Execute ``query`` through XDB and collect normalized metrics."""
+    """Execute ``query`` through XDB and collect normalized metrics.
+
+    ``qos`` (a :class:`~repro.qos.QoSPolicy`) opts the run into
+    admission control and a per-query deadline; the resulting
+    admission/deadline numbers land in ``record.extra``.
+    """
     system = xdb or XDB(deployment)
-    report = system.submit(query)
+    report = system.submit(query, qos=qos)
     ctx = report.context
     total, to_cloud, cross_site = site_breakdown(
         ctx.transfers, deployment.network
@@ -98,6 +104,15 @@ def run_xdb(
         },
         trace_summary=ctx.trace_summary(),
     )
+    if report.qos is not None:
+        record.extra["admission_wait_seconds"] = (
+            report.qos.admission_wait_seconds
+            + report.qos.admission_sim_seconds
+        )
+        if report.qos.deadline_remaining_seconds is not None:
+            record.extra["deadline_remaining_seconds"] = (
+                report.qos.deadline_remaining_seconds
+            )
     return record
 
 

@@ -205,84 +205,135 @@ class DBMSConnector:
         """
         policy = self.retry_policy
         registry = self.health
-        if registry is not None and not registry.allow(self.name):
-            self._bump("breaker_fastfails")
-            if ctx is not None:
-                ctx.tracer.add_event(
-                    "breaker-fastfail", db=self.name, op=op
+        deadline = getattr(ctx, "deadline", None) if ctx is not None else None
+        phase = ""
+        if ctx is not None:
+            phase = getattr(ctx, "current_phase", "") or op
+        probe = False
+        if registry is not None:
+            gate = registry.gate(self.name)
+            if gate == "blocked":
+                self._bump("breaker_fastfails")
+                if ctx is not None:
+                    ctx.tracer.add_event(
+                        "breaker-fastfail", db=self.name, op=op
+                    )
+                raise CircuitOpenError(
+                    f"circuit breaker for DBMS {self.name!r} is open; "
+                    f"failing {op!r} fast until the cool-down elapses",
+                    db=self.name,
                 )
-            raise CircuitOpenError(
-                f"circuit breaker for DBMS {self.name!r} is open; "
-                f"failing {op!r} fast until the cool-down elapses",
-                db=self.name,
-            )
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                if self.fault_injector is not None:
-                    self.fault_injector.before_call(self.name, op)
-                self._check_timeout(op)
-                result = fn()
-            except RETRYABLE_ERRORS:
-                self._bump("failures")
-                if attempt >= policy.max_attempts:
-                    self._bump("giveups")
+            probe = gate == "probe"
+        try:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    if deadline is not None:
+                        deadline.check(phase, detail=f"{op}@{self.name}")
+                    if self.fault_injector is not None:
+                        self.fault_injector.before_call(self.name, op)
+                    self._check_timeout(op, deadline=deadline, phase=phase)
+                    result = fn()
+                except RETRYABLE_ERRORS:
+                    self._bump("failures")
+                    if attempt >= policy.max_attempts:
+                        self._bump("giveups")
+                        if ctx is not None:
+                            ctx.tracer.add_event(
+                                "giveup",
+                                db=self.name,
+                                op=op,
+                                attempts=attempt,
+                            )
+                        if registry is not None:
+                            registry.record_failure(
+                                self.name, f"retry budget exhausted ({op})"
+                            )
+                            probe = False
+                        raise
+                    self._bump("retries")
+                    rng = (
+                        ctx.backoff_rng(self.name)
+                        if ctx is not None
+                        else self._backoff_rng
+                    )
+                    backoff = policy.backoff_for(attempt, rng=rng)
+                    self.backoff_seconds += backoff
+                    if ctx is not None:
+                        ctx.add_backoff(self.name, backoff)
+                        ctx.tracer.add_event(
+                            "retry",
+                            db=self.name,
+                            op=op,
+                            attempt=attempt,
+                            backoff_seconds=backoff,
+                        )
+                except EngineUnavailableError as exc:
+                    if exc.db is None:
+                        exc.db = self.name
                     if ctx is not None:
                         ctx.tracer.add_event(
-                            "giveup", db=self.name, op=op, attempts=attempt
+                            "engine-unavailable", db=self.name, op=op
                         )
                     if registry is not None:
                         registry.record_failure(
-                            self.name, f"retry budget exhausted ({op})"
+                            self.name, f"engine unavailable ({op})"
                         )
+                        probe = False
                     raise
-                self._bump("retries")
-                backoff = policy.backoff_for(attempt, rng=self._backoff_rng)
-                self.backoff_seconds += backoff
-                if ctx is not None:
-                    ctx.add_backoff(self.name, backoff)
-                    ctx.tracer.add_event(
-                        "retry",
-                        db=self.name,
-                        op=op,
-                        attempt=attempt,
-                        backoff_seconds=backoff,
-                    )
-            except EngineUnavailableError as exc:
-                if exc.db is None:
-                    exc.db = self.name
-                if ctx is not None:
-                    ctx.tracer.add_event(
-                        "engine-unavailable", db=self.name, op=op
-                    )
-                if registry is not None:
-                    registry.record_failure(
-                        self.name, f"engine unavailable ({op})"
-                    )
-                raise
-            else:
-                if registry is not None:
-                    registry.record_success(self.name)
-                return result
+                else:
+                    if registry is not None:
+                        registry.record_success(self.name)
+                        probe = False
+                    return result
+        finally:
+            # A probe that never reached an outcome (deadline expiry,
+            # timeout, non-retryable execution error) must hand the
+            # half-open probe slot back, or the breaker deadlocks.
+            if probe and registry is not None:
+                registry.finish_probe(self.name)
 
-    def _check_timeout(self, op: str) -> None:
+    def _check_timeout(
+        self, op: str, deadline=None, phase: str = ""
+    ) -> None:
         """Enforce the per-call budget against the current link state.
 
         The precheck prices a control round trip middleware ↔ DBMS on
         the (possibly degraded) link *before* executing, so a timed-out
         call has no partial server-side effect and is safe to retry.
+
+        With an armed per-query ``deadline`` the budget is the tentpole
+        rule ``min(remaining_deadline, per_call_cap, policy_cap)``.
+        When the *deadline* is what the call cannot fit into, the error
+        is a non-retryable :class:`~repro.errors.DeadlineExceeded` —
+        retrying cannot mint new budget; when only a static cap binds,
+        the retryable :class:`ConnectorTimeoutError` is kept (the link
+        may recover).
         """
-        budget = self.retry_policy.call_timeout_seconds
-        if budget is None:
+        policy_budget = self.retry_policy.call_timeout_seconds
+        if policy_budget is None and deadline is None:
             return
         round_trip = 2 * self.network.transfer_time(
             self.middleware_node, self.node, CONTROL_MESSAGE_BYTES
         )
-        if round_trip > budget:
+        if deadline is not None:
+            remaining = max(deadline.remaining_seconds, 0.0)
+            budget = deadline.call_cap(policy_budget)
+            if round_trip > budget:
+                if round_trip > remaining:
+                    raise deadline.exceeded(
+                        phase or op, detail=f"{op}@{self.name}"
+                    )
+                raise ConnectorTimeoutError(
+                    f"control round trip to {self.name!r} would take "
+                    f"{round_trip:.3f}s, exceeding the {budget:.3f}s "
+                    f"per-call budget ({op})"
+                )
+        elif round_trip > policy_budget:
             raise ConnectorTimeoutError(
                 f"control round trip to {self.name!r} would take "
-                f"{round_trip:.3f}s, exceeding the {budget:.3f}s "
+                f"{round_trip:.3f}s, exceeding the {policy_budget:.3f}s "
                 f"per-call budget ({op})"
             )
 
@@ -331,20 +382,30 @@ class DBMSConnector:
         (re-admission), any failure re-opens it for another cool-down.
         """
         try:
-            if self.fault_injector is not None:
-                self.fault_injector.before_call(self.name, "probe")
-            if self.network.is_partitioned(self.middleware_node, self.node):
-                raise NetworkPartitionedError(
-                    f"probe: link {self.middleware_node} <-> {self.node} "
-                    "is partitioned"
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.before_call(self.name, "probe")
+                if self.network.is_partitioned(
+                    self.middleware_node, self.node
+                ):
+                    raise NetworkPartitionedError(
+                        f"probe: link {self.middleware_node} <-> "
+                        f"{self.node} is partitioned"
+                    )
+                self._check_timeout("probe")
+            except (ConnectorError, NetworkError):
+                self.health.record_failure(
+                    self.name, "half-open probe failed"
                 )
-            self._check_timeout("probe")
-        except (ConnectorError, NetworkError):
-            self.health.record_failure(self.name, "half-open probe failed")
-            return False
-        self._control("probe")
-        self.health.record_success(self.name)
-        return True
+                return False
+            self._control("probe")
+            self.health.record_success(self.name)
+            return True
+        finally:
+            # Whatever happened, the single half-open probe slot this
+            # availability check consumed is handed back (no-op when a
+            # recorded outcome already released it).
+            self.health.finish_probe(self.name)
 
     # -- metadata ---------------------------------------------------------------
 

@@ -35,9 +35,12 @@ from repro.core.timing import (
 )
 from repro.engine.result import Result
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceeded,
     DelegationError,
     EngineUnavailableError,
     OptimizerError,
+    OverloadError,
     ReproError,
 )
 from repro.federation.deployment import Deployment
@@ -45,6 +48,7 @@ from repro.health import BreakerEvent
 from repro.net.metrics import ResilienceSummary, TransferSummary
 from repro.obs.clock import wall_now
 from repro.obs.context import QueryContext
+from repro.qos import PRIORITY_NORMAL, QoSPolicy, QoSReport
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 
@@ -128,6 +132,9 @@ class XDBReport:
     #: the observation context the submission ran under: span tree,
     #: context-scoped metrics, attributed transfers, trace exports
     context: Optional[QueryContext] = None
+    #: QoS receipt — admission wait, deadline spend, staleness — when
+    #: the submission carried a :class:`~repro.qos.QoSPolicy`
+    qos: Optional[QoSReport] = None
 
     @property
     def total_seconds(self) -> float:
@@ -165,6 +172,8 @@ class XDBReport:
             lines.append(f"resilience: {self.resilience.describe()}")
         if self.recovery is not None and self.recovery.repaired:
             lines.append(f"recovery: {self.recovery.describe()}")
+        if self.qos is not None:
+            lines.append(f"qos: {self.qos.describe()}")
         return "\n".join(lines)
 
     def explain_analyze(self) -> str:
@@ -193,6 +202,7 @@ class XDB:
         prune_candidates: bool = True,
         plan_shape: str = "left-deep",
         repair_budget: int = 2,
+        ddl_namespace: str = "",
     ):
         """Create the middleware over ``deployment``.
 
@@ -204,6 +214,10 @@ class XDB:
         ``repair_budget`` bounds the self-healing plan-repair loop:
         how many times one submission may re-plan around an engine
         outage before the failure propagates (0 disables repair).
+        ``ddl_namespace`` prefixes every short-lived DDL object this
+        client creates — concurrent XDB instances sharing one
+        federation give themselves distinct namespaces so their
+        ``xf_/xm_/xv_`` objects cannot collide.
         """
         self.deployment = deployment
         self.repair_budget = repair_budget
@@ -217,7 +231,9 @@ class XDB:
             prune_candidates=prune_candidates,
         )
         self.finalizer = PlanFinalizer()
-        self.delegator = DelegationEngine(self.connectors)
+        self.delegator = DelegationEngine(
+            self.connectors, namespace=ddl_namespace
+        )
         self._metadata_fresh = False
 
     # -- public API --------------------------------------------------------------
@@ -227,6 +243,7 @@ class XDB:
         query: Union[str, ast.Select],
         cleanup: bool = True,
         refresh_metadata: bool = False,
+        qos: Optional[QoSPolicy] = None,
     ) -> XDBReport:
         """Run a cross-database query end to end and report everything.
 
@@ -239,18 +256,30 @@ class XDB:
         surviving holder — then re-delegated and re-executed.  The loop
         is bounded by ``repair_budget``; unrepairable outages (the only
         holder of a table is down) propagate immediately.
+
+        QoS: with a :class:`~repro.qos.QoSPolicy` the submission holds
+        one admission token per engine its plan touches for the whole
+        execution phase (queueing or shedding under overload, by
+        priority), draws every connector call, retry, backoff, and
+        queue wait from one per-query :class:`~repro.qos.Deadline`
+        budget, and — should that budget expire mid-delegation — rolls
+        the in-flight DDL back under the deadline's grace budget before
+        raising a structured :class:`~repro.errors.DeadlineExceeded`.
         """
         network = self.deployment.network
         health = self.deployment.health
+        gate = self.deployment.workload_gate
+        priority = qos.priority if qos is not None else PRIORITY_NORMAL
         recovery = RecoveryReport()
         budget = self.repair_budget
         label = query if isinstance(query, str) else "<ast>"
-        ctx = QueryContext(label=label)
+        ctx = QueryContext(label=label, qos=qos)
         with ctx:
             tracer = ctx.tracer
 
             # --- prep: parse + gather metadata through the connectors ---
             with tracer.span("prep", kind="phase") as prep_span:
+                ctx.enter_phase("prep")
                 with tracer.span("parse", kind="step"):
                     select = self._parse(query)
                 if refresh_metadata or not self._metadata_fresh:
@@ -260,11 +289,13 @@ class XDB:
 
             # --- lopt: logical optimization (pure middleware CPU) -------
             with tracer.span("lopt", kind="phase") as lopt_span:
+                ctx.enter_phase("lopt")
                 with tracer.span("optimize", kind="step"):
                     logical_plan = self.optimizer.optimize(select)
 
             # --- ann: plan annotation + finalization (consulting) -------
             with tracer.span("ann", kind="phase") as ann_span:
+                ctx.enter_phase("ann")
                 while True:
                     try:
                         with tracer.span("annotate", kind="step"):
@@ -290,88 +321,160 @@ class XDB:
                 recovery.placement_before = self._placement(dplan)
 
             # --- exec: delegation DDL + decentralized execution ----------
-            with tracer.span("exec", kind="phase") as exec_span:
-                repair_start: Optional[Tuple[float, float]] = None
-                while True:
-                    deployed = None
-                    try:
-                        if dplan is None:
-                            # Re-plan around the outage: the annotator
-                            # now sees the open breaker, so replicated
-                            # tables land on a healthy holder and Rule 4
-                            # drops the dead candidate.
-                            with tracer.span("annotate", kind="step"):
-                                annotation = self.annotator.annotate(
-                                    logical_plan
-                                )
-                            with tracer.span("finalize", kind="step"):
-                                dplan = self.finalizer.finalize(
-                                    logical_plan, annotation
-                                )
-                        with tracer.span("delegate", kind="step"):
-                            deployed = self.delegator.delegate(dplan)
-                        root_connector = self.connectors[deployed.root_db]
-                        with tracer.span("execute", kind="step"):
-                            result = root_connector.run_query(
-                                deployed.xdb_query,
-                                self.deployment.client_node,
+            lease = None
+            deployed = None
+            try:
+                with tracer.span("exec", kind="phase") as exec_span:
+                    repair_start: Optional[Tuple[float, float]] = None
+                    while True:
+                        deployed = None
+                        try:
+                            if dplan is None:
+                                # Re-plan around the outage: the annotator
+                                # now sees the open breaker, so replicated
+                                # tables land on a healthy holder and Rule 4
+                                # drops the dead candidate.
+                                with tracer.span("annotate", kind="step"):
+                                    annotation = self.annotator.annotate(
+                                        logical_plan
+                                    )
+                                with tracer.span("finalize", kind="step"):
+                                    dplan = self.finalizer.finalize(
+                                        logical_plan, annotation
+                                    )
+                            engines = sorted(
+                                {
+                                    task.annotation
+                                    for task in dplan.tasks.values()
+                                }
                             )
-                        break
-                    except (EngineUnavailableError, DelegationError) as exc:
-                        db = self._unavailable_db(exc)
-                        if db is None or budget <= 0:
-                            raise
-                        budget -= 1
-                        recovery.repair_attempts += 1
-                        recovery.repaired_dbs.append(db)
-                        if repair_start is None:
-                            repair_start = (wall_now(), tracer.sim_now)
-                        tracer.add_event("repair", db=db, phase="exec")
-                        # Trip the breaker FIRST so the best-effort
-                        # cleanup of the partial deployment fails fast on
-                        # the dead engine instead of burning its retry
-                        # budget per object.
-                        health.report_outage(db, "execution failed")
-                        if deployed is not None:
-                            try:
-                                deployed.cleanup()
-                            except ReproError:
-                                pass
-                        dplan = None
-                if repair_start is not None:
-                    repair_wall, repair_sim = repair_start
-                    recovery.repair_seconds = (
-                        (wall_now() - repair_wall)
-                        + (tracer.sim_now - repair_sim)
+                            if lease is not None and set(
+                                lease.engines
+                            ) != set(engines):
+                                # The repaired plan routes around the
+                                # outage onto a different engine set:
+                                # swap the admission tokens to match.
+                                lease.release()
+                                lease = None
+                            if lease is None:
+                                ctx.enter_phase("admission")
+                                with tracer.span("admit", kind="step"):
+                                    lease = gate.acquire(
+                                        engines,
+                                        priority=priority,
+                                        deadline=ctx.deadline,
+                                    )
+                                    ctx.record_admission(lease)
+                            ctx.enter_phase("delegate")
+                            with tracer.span("delegate", kind="step"):
+                                deployed = self.delegator.delegate(dplan)
+                            root_connector = self.connectors[
+                                deployed.root_db
+                            ]
+                            ctx.enter_phase("execute")
+                            with tracer.span("execute", kind="step"):
+                                result = root_connector.run_query(
+                                    deployed.xdb_query,
+                                    self.deployment.client_node,
+                                )
+                            if ctx.deadline is not None:
+                                # A result that lands after the deadline
+                                # is a miss, not a success: cancel it.
+                                ctx.deadline.check(
+                                    "execute", detail="post-execution"
+                                )
+                            break
+                        except (
+                            EngineUnavailableError,
+                            DelegationError,
+                        ) as exc:
+                            db = self._unavailable_db(exc)
+                            if db is None or budget <= 0:
+                                raise
+                            budget -= 1
+                            recovery.repair_attempts += 1
+                            recovery.repaired_dbs.append(db)
+                            if repair_start is None:
+                                repair_start = (wall_now(), tracer.sim_now)
+                            tracer.add_event("repair", db=db, phase="exec")
+                            # Trip the breaker FIRST so the best-effort
+                            # cleanup of the partial deployment fails fast
+                            # on the dead engine instead of burning its
+                            # retry budget per object.
+                            health.report_outage(db, "execution failed")
+                            if deployed is not None:
+                                try:
+                                    deployed.cleanup()
+                                except ReproError:
+                                    pass
+                            dplan = None
+                    if repair_start is not None:
+                        repair_wall, repair_sim = repair_start
+                        recovery.repair_seconds = (
+                            (wall_now() - repair_wall)
+                            + (tracer.sim_now - repair_sim)
+                        )
+                    recovery.placement = self._placement(dplan)
+                    attribute_edge_stats(
+                        deployed, exec_span.subtree_records()
                     )
-                recovery.placement = self._placement(dplan)
-                attribute_edge_stats(deployed, exec_span.subtree_records())
-                with tracer.span("schedule", kind="step"):
-                    schedule = simulate_schedule(
-                        deployed,
-                        self.connectors,
-                        network,
-                        self.deployment.client_node,
-                        result_bytes=result.byte_size(),
-                    )
+                    with tracer.span("schedule", kind="step"):
+                        schedule = simulate_schedule(
+                            deployed,
+                            self.connectors,
+                            network,
+                            self.deployment.client_node,
+                            result_bytes=result.byte_size(),
+                        )
 
-            # Middleware CPU during exec is not on the critical path
-            # (the DBMSes run decentrally); control messages are, and so
-            # are simulated retry backoff spent on the DDL cascade and
-            # any repair-time re-consultations — all read off the exec
-            # span's subtree.
-            exec_seconds = (
-                schedule.total_seconds
-                + ctx.control_seconds(exec_span)
-                + ctx.backoff_in(exec_span)
-            )
-            transfers = ctx.transfer_summary(exec_span)
-            recovery.breaker_transitions = list(ctx.breaker_events)
+                # Middleware CPU during exec is not on the critical path
+                # (the DBMSes run decentrally); control messages are, and
+                # so are simulated retry backoff spent on the DDL cascade
+                # and any repair-time re-consultations — all read off the
+                # exec span's subtree.
+                exec_seconds = (
+                    schedule.total_seconds
+                    + ctx.control_seconds(exec_span)
+                    + ctx.backoff_in(exec_span)
+                )
+                transfers = ctx.transfer_summary(exec_span)
+                recovery.breaker_transitions = list(ctx.breaker_events)
 
-            # Cleanup runs outside the exec span: its drops are not part
-            # of the execution window's transfer summary.
-            if cleanup:
-                deployed.cleanup()
+                # Cleanup runs outside the exec span (its drops are not
+                # part of the execution window's transfer summary) but
+                # still under the admission lease, and — with a deadline
+                # — under the grace budget, so a query that *met* its
+                # deadline cannot fail while tearing itself down.
+                ctx.current_phase = "cleanup"
+                if cleanup:
+                    if ctx.deadline is not None:
+                        with ctx.deadline.grace():
+                            deployed.cleanup()
+                    else:
+                        deployed.cleanup()
+            except DeadlineExceeded as exc:
+                self._cancel_deployment(ctx, deployed, exc)
+                raise
+            finally:
+                if lease is not None:
+                    lease.release()
+
+            qos_report = None
+            if qos is not None:
+                qos_report = QoSReport(
+                    priority=priority,
+                    deadline_seconds=qos.deadline_seconds,
+                    deadline_remaining_seconds=(
+                        ctx.deadline.remaining_seconds
+                        if ctx.deadline is not None
+                        else None
+                    ),
+                    admission_wait_seconds=ctx.admission_wait_seconds,
+                    admission_sim_seconds=ctx.admission_sim_seconds,
+                    admitted_engines=(
+                        list(lease.engines) if lease is not None else []
+                    ),
+                )
 
             report = XDBReport(
                 result=result,
@@ -390,8 +493,49 @@ class XDB:
                 resilience=ctx.resilience_summary(self.connectors),
                 recovery=recovery,
                 context=ctx,
+                qos=qos_report,
             )
         return report
+
+    @staticmethod
+    def _cancel_deployment(
+        ctx: QueryContext,
+        deployed: Optional[DeployedQuery],
+        exc: DeadlineExceeded,
+    ) -> None:
+        """Cooperative cancellation: tear down a deployed cascade after
+        deadline expiry, under the grace budget, and fold the rollback
+        accounting into the structured error.
+
+        ``deployed`` is None when the expiry struck *inside* the
+        delegation engine — that path already rolled itself back and
+        stamped the error; here we only handle expiry after delegation
+        completed (during execution or post-execution checks).
+        """
+        if deployed is None:
+            return
+        before = list(deployed.created_objects)
+        try:
+            if ctx.deadline is not None:
+                with ctx.deadline.grace():
+                    deployed.cleanup()
+            else:
+                deployed.cleanup()
+        except ReproError:
+            # cleanup() already kept the undropped objects queued;
+            # the leak accounting below reads them off the deployment.
+            pass
+        remaining = list(deployed.created_objects)
+        exc.rolled_back = list(exc.rolled_back) + [
+            obj for obj in before if obj not in remaining
+        ]
+        exc.leaked = list(exc.leaked) + remaining
+        ctx.tracer.add_event(
+            "deadline-cancelled",
+            phase=exc.phase,
+            rolled_back=len(exc.rolled_back),
+            leaked=len(exc.leaked),
+        )
 
     def explain(self, query: Union[str, ast.Select]) -> str:
         """Produce the delegation plan (Table IV style) without executing."""
@@ -530,43 +674,165 @@ class PreparedQuery:
         self.deployed = deployed
         self.executions = 0
         self._closed = False
+        #: simulated time the materialization snapshots were last built
+        #: (the CTAS of delegation counts as the first refresh)
+        self._refreshed_at = xdb.deployment.health.clock.now()
 
     @property
     def plan(self) -> DelegationPlan:
         return self.deployed.plan
 
-    def execute(self) -> XDBReport:
-        """Run the deployed XDB query against the current base data."""
+    def staleness_seconds(self) -> float:
+        """Age of the materialization snapshots (simulated seconds)."""
+        now = self._xdb.deployment.health.clock.now()
+        return max(now - self._refreshed_at, 0.0)
+
+    def _degradable(self, qos: Optional[QoSPolicy]) -> bool:
+        """Whether a stale answer is an acceptable fallback right now:
+        the caller opted into a staleness bound and the existing
+        snapshots are still within it."""
+        return (
+            qos is not None
+            and qos.max_staleness_seconds is not None
+            and self.staleness_seconds() <= qos.max_staleness_seconds
+        )
+
+    def _snapshot_hosts_blocked(self) -> bool:
+        """Any materialization host with an open breaker right now."""
+        health = self._xdb.deployment.health
+        return any(
+            health.is_open(db)
+            for db in {db for db, _, _ in self.deployed.materializations}
+        )
+
+    def execute(self, qos: Optional[QoSPolicy] = None) -> XDBReport:
+        """Run the deployed XDB query against the current base data.
+
+        Graceful degradation: a policy with ``max_staleness_seconds``
+        set allows the execution to fall back to the *existing*
+        materialization snapshots — skipping the refresh and admitting
+        against the root engine only — when the gate sheds the full
+        engine set or a snapshot host's breaker is open, provided the
+        snapshots are younger than the bound.  The served staleness is
+        recorded in ``report.qos``.
+        """
         if self._closed:
             raise OptimizerError("prepared query is closed")
         network = self._xdb.deployment.network
-        ctx = QueryContext(label="prepared")
+        health = self._xdb.deployment.health
+        gate = self._xdb.deployment.workload_gate
+        priority = qos.priority if qos is not None else PRIORITY_NORMAL
+        ctx = QueryContext(label="prepared", qos=qos)
+        stale_read = False
         with ctx:
             tracer = ctx.tracer
-            with tracer.span("exec", kind="phase") as exec_span:
-                if self.executions > 0:
-                    # First execution already materialized during
-                    # delegation; later ones rebuild the snapshots.
-                    with tracer.span("refresh", kind="step"):
-                        self.deployed.refresh_materializations()
-                root_connector = self._xdb.connectors[self.deployed.root_db]
-                with tracer.span("execute", kind="step"):
-                    result = root_connector.run_query(
-                        self.deployed.xdb_query,
-                        self._xdb.deployment.client_node,
+            lease = None
+            try:
+                with tracer.span("exec", kind="phase") as exec_span:
+                    engines = sorted(
+                        {
+                            task.annotation
+                            for task in self.deployed.plan.tasks.values()
+                        }
                     )
-                self.executions += 1
-                attribute_edge_stats(
-                    self.deployed, exec_span.subtree_records()
+                    ctx.enter_phase("admission")
+                    try:
+                        with tracer.span("admit", kind="step"):
+                            lease = gate.acquire(
+                                engines,
+                                priority=priority,
+                                deadline=ctx.deadline,
+                            )
+                            ctx.record_admission(lease)
+                    except OverloadError:
+                        if not self._degradable(qos):
+                            raise
+                        # Saturated engine set, acceptable staleness:
+                        # serve from the snapshots, admitting against
+                        # the root engine only.
+                        stale_read = True
+                        with tracer.span("admit", kind="step"):
+                            lease = gate.acquire(
+                                [self.deployed.root_db],
+                                priority=priority,
+                                deadline=ctx.deadline,
+                            )
+                            ctx.record_admission(lease)
+                    refresh = self.executions > 0 and not stale_read
+                    if (
+                        refresh
+                        and self._snapshot_hosts_blocked()
+                        and self._degradable(qos)
+                    ):
+                        stale_read = True
+                        refresh = False
+                    if refresh:
+                        # First execution already materialized during
+                        # delegation; later ones rebuild the snapshots.
+                        ctx.enter_phase("refresh")
+                        try:
+                            with tracer.span("refresh", kind="step"):
+                                self.deployed.refresh_materializations()
+                            self._refreshed_at = health.clock.now()
+                        except CircuitOpenError:
+                            if not self._degradable(qos):
+                                raise
+                            stale_read = True
+                    if stale_read:
+                        tracer.add_event(
+                            "stale-read",
+                            staleness_seconds=self.staleness_seconds(),
+                        )
+                    root_connector = self._xdb.connectors[
+                        self.deployed.root_db
+                    ]
+                    ctx.enter_phase("execute")
+                    with tracer.span("execute", kind="step"):
+                        result = root_connector.run_query(
+                            self.deployed.xdb_query,
+                            self._xdb.deployment.client_node,
+                        )
+                    if ctx.deadline is not None:
+                        ctx.deadline.check(
+                            "execute", detail="post-execution"
+                        )
+                    self.executions += 1
+                    attribute_edge_stats(
+                        self.deployed, exec_span.subtree_records()
+                    )
+                    with tracer.span("schedule", kind="step"):
+                        schedule = simulate_schedule(
+                            self.deployed,
+                            self._xdb.connectors,
+                            network,
+                            self._xdb.deployment.client_node,
+                            result_bytes=result.byte_size(),
+                        )
+            finally:
+                if lease is not None:
+                    lease.release()
+
+            qos_report = None
+            if qos is not None:
+                qos_report = QoSReport(
+                    priority=priority,
+                    deadline_seconds=qos.deadline_seconds,
+                    deadline_remaining_seconds=(
+                        ctx.deadline.remaining_seconds
+                        if ctx.deadline is not None
+                        else None
+                    ),
+                    admission_wait_seconds=ctx.admission_wait_seconds,
+                    admission_sim_seconds=ctx.admission_sim_seconds,
+                    admitted_engines=(
+                        list(lease.engines) if lease is not None else []
+                    ),
+                    stale_read=stale_read,
+                    staleness_seconds=(
+                        self.staleness_seconds() if stale_read else None
+                    ),
                 )
-                with tracer.span("schedule", kind="step"):
-                    schedule = simulate_schedule(
-                        self.deployed,
-                        self._xdb.connectors,
-                        network,
-                        self._xdb.deployment.client_node,
-                        result_bytes=result.byte_size(),
-                    )
+
             report = XDBReport(
                 result=result,
                 plan=self.deployed.plan,
@@ -588,6 +854,7 @@ class PreparedQuery:
                 transfers=ctx.transfer_summary(exec_span),
                 resilience=ctx.resilience_summary(self._xdb.connectors),
                 context=ctx,
+                qos=qos_report,
             )
         return report
 

@@ -31,7 +31,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.errors import EngineUnavailableError, ReproError
+from repro.errors import DeadlineExceeded, EngineUnavailableError, ReproError
 
 from repro.connect.connector import DBMSConnector
 from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
@@ -116,14 +116,22 @@ class DeployedQuery:
 class DelegationEngine:
     """Rewrites delegation plans into DBMS-specific DDL (Algorithm 1)."""
 
-    def __init__(self, connectors: Mapping[str, DBMSConnector]):
+    def __init__(
+        self,
+        connectors: Mapping[str, DBMSConnector],
+        namespace: str = "",
+    ):
         self._connectors = dict(connectors)
+        #: prefix folded into every created object name — concurrent
+        #: clients of one federation use distinct namespaces so their
+        #: short-lived ``xf_/xm_/xv_`` objects cannot collide
+        self._namespace = namespace
         self._query_counter = 0
 
     def delegate(self, dplan: DelegationPlan) -> DeployedQuery:
         """Deploy ``dplan``; returns the XDB query for the client."""
         self._query_counter += 1
-        query_id = self._query_counter
+        query_id = f"{self._namespace}{self._query_counter}"
         created: List[Tuple[str, str, str]] = []
         ddl_log: List[Tuple[str, str]] = []
         edge_views: Dict[int, str] = {}
@@ -139,6 +147,29 @@ class DelegationEngine:
                 edge_views,
                 materializations,
             )
+        except DeadlineExceeded as exc:
+            # Cooperative cancellation: the query's budget expired
+            # mid-cascade.  The in-flight DDL is still rolled back —
+            # under the deadline's bounded *grace* budget, so cleanup
+            # cannot hang forever either — and the structured error
+            # carries the exact accounting: what was dropped and what
+            # (if the grace budget also ran out) was leaked.
+            ctx = current_context()
+            deadline = getattr(ctx, "deadline", None) if ctx else None
+            if deadline is not None:
+                with deadline.grace():
+                    rolled_back, leaked = self._rollback(created)
+            else:
+                rolled_back, leaked = self._rollback(created)
+            exc.rolled_back = rolled_back
+            exc.leaked = leaked
+            self._note(
+                "deadline-cancelled",
+                phase=exc.phase,
+                rolled_back=len(rolled_back),
+                leaked=len(leaked),
+            )
+            raise
         except ReproError as exc:
             # When the cause is a dead engine, don't try to DROP the
             # objects created on it — every attempt would fail (or burn
@@ -223,7 +254,7 @@ class DelegationEngine:
         self,
         dplan: DelegationPlan,
         task: Task,
-        query_id: int,
+        query_id: str,
         created: List[Tuple[str, str, str]],
         ddl_log: List[Tuple[str, str]],
         edge_views: Dict[int, str],

@@ -136,5 +136,68 @@ class DelegationError(ReproError):
         self.failed_db = failed_db
 
 
+class DeadlineExceeded(ReproError):
+    """A query's deadline budget ran out (see :mod:`repro.qos`).
+
+    Not retryable: the budget is per *query*, so once it is gone no
+    amount of retrying inside the same submission can help.  Carries
+    the phase the query died in (``prep``/``lopt``/``ann``/
+    ``admission``/``delegate``/``execute``/``refresh``/``rollback``),
+    the call-level detail when a connector raised it, and — when the
+    expiry interrupted a deployed or partially deployed cascade — the
+    rollback accounting (``rolled_back``/``leaked``), mirroring
+    :class:`DelegationError` so no object is ever silently dropped.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        phase: str = "",
+        detail: str = "",
+        budget_seconds=None,
+        elapsed_seconds=None,
+        rolled_back=None,
+        leaked=None,
+    ):
+        super().__init__(message)
+        #: coarse phase the deadline expired in
+        self.phase = phase
+        #: call-level detail (``"ddl@db2"``) when a connector raised it
+        self.detail = detail
+        #: the query's total budget, in deadline seconds
+        self.budget_seconds = budget_seconds
+        #: budget consumed at expiry
+        self.elapsed_seconds = elapsed_seconds
+        #: (db, kind, name) dropped by the cancellation rollback
+        self.rolled_back = list(rolled_back) if rolled_back else []
+        #: (db, kind, name) the cancellation rollback could not drop
+        self.leaked = list(leaked) if leaked else []
+
+
+class OverloadError(ReproError):
+    """A query was shed by admission control (see :mod:`repro.qos`).
+
+    Raised *before* any engine work happens: the waiting room for some
+    engine is full (or the caller lost its slot to a higher-priority
+    query), so the submission consumed no capacity and is safe to retry
+    after ``retry_after_seconds``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        db=None,
+        retry_after_seconds=None,
+        priority=None,
+    ):
+        super().__init__(message)
+        #: the engine whose admission queue shed the query
+        self.db = db
+        #: suggested client back-off before resubmitting (seconds)
+        self.retry_after_seconds = retry_after_seconds
+        #: the shed query's priority
+        self.priority = priority
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload configurations (scale factors, TDs)."""

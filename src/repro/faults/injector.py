@@ -11,6 +11,7 @@ errors the resilience layer must absorb.
 from __future__ import annotations
 
 import random
+import threading
 from typing import Dict, List, Optional
 
 from repro.errors import EngineUnavailableError, TransientConnectorError
@@ -23,6 +24,9 @@ class FaultInjector:
     def __init__(self, policy: FaultPolicy):
         self.policy = policy
         self._rng = random.Random(policy.seed)
+        # the overload benchmark injects faults from concurrent client
+        # threads; the counters and RNG draw must stay consistent
+        self._lock = threading.Lock()
         #: guarded calls seen per DBMS (attempts, including retries)
         self.calls_by_db: Dict[str, int] = {}
         #: matching-call counters per scripted fault (by index)
@@ -111,34 +115,35 @@ class FaultInjector:
         Raises the injected fault, if any; otherwise returns and the
         real call proceeds.
         """
-        count = self.calls_by_db.get(db, 0) + 1
-        self.calls_by_db[db] = count
+        with self._lock:
+            count = self.calls_by_db.get(db, 0) + 1
+            self.calls_by_db[db] = count
 
-        outage = self._outage_for(db)
-        if outage is not None and outage.down_at(count):
-            self.injected_outage_rejections += 1
-            raise EngineUnavailableError(
-                f"injected outage: DBMS {db!r} is down "
-                f"(call {count}, outage after {outage.after_calls})",
-                db=db,
-            )
+            outage = self._outage_for(db)
+            if outage is not None and outage.down_at(count):
+                self.injected_outage_rejections += 1
+                raise EngineUnavailableError(
+                    f"injected outage: DBMS {db!r} is down "
+                    f"(call {count}, outage after {outage.after_calls})",
+                    db=db,
+                )
 
-        for index, scripted in enumerate(self.policy.scripted):
-            if scripted.matches(db, op):
-                self._script_hits[index] += 1
-                if self._script_hits[index] == scripted.nth:
-                    self.injected_transients += 1
-                    raise TransientConnectorError(
-                        f"injected scripted fault: {op} call "
-                        f"#{scripted.nth} on {db!r}"
-                    )
+            for index, scripted in enumerate(self.policy.scripted):
+                if scripted.matches(db, op):
+                    self._script_hits[index] += 1
+                    if self._script_hits[index] == scripted.nth:
+                        self.injected_transients += 1
+                        raise TransientConnectorError(
+                            f"injected scripted fault: {op} call "
+                            f"#{scripted.nth} on {db!r}"
+                        )
 
-        rate = self.policy.rate_for(db)
-        if rate > 0.0 and self._rng.random() < rate:
-            self.injected_transients += 1
-            raise TransientConnectorError(
-                f"injected transient error on {db!r} during {op}"
-            )
+            rate = self.policy.rate_for(db)
+            if rate > 0.0 and self._rng.random() < rate:
+                self.injected_transients += 1
+                raise TransientConnectorError(
+                    f"injected transient error on {db!r} during {op}"
+                )
 
 
 def install_faults(deployment, policy: FaultPolicy) -> FaultInjector:

@@ -24,6 +24,7 @@ from repro.engine.fdw import RemoteServer
 from repro.errors import CatalogError, NetworkError
 from repro.health import BreakerConfig, HealthRegistry
 from repro.net.network import Network
+from repro.qos import GateConfig, WorkloadGate
 from repro.relational.schema import Schema
 
 MIDDLEWARE_NODE = "xdb"
@@ -118,6 +119,11 @@ class Deployment:
         for connector in self.connectors.values():
             connector.health = self.health
 
+        # One shared admission gate: every XDB client of this
+        # deployment contends for the same per-engine concurrency
+        # tokens (see :mod:`repro.qos`).
+        self.workload_gate = WorkloadGate()
+
     # -- wiring ----------------------------------------------------------------
 
     def _wire_servers(self) -> None:
@@ -200,6 +206,18 @@ class Deployment:
         for connector in self.connectors.values():
             connector.health = self.health
         return self.health
+
+    # -- qos -------------------------------------------------------------------------
+
+    def configure_qos(self, config: GateConfig) -> WorkloadGate:
+        """Swap in a fresh :class:`WorkloadGate` with ``config``.
+
+        All admission state (tokens, queues, shed counters) is
+        discarded; submissions already holding leases on the old gate
+        release against the old gate harmlessly.
+        """
+        self.workload_gate = WorkloadGate(config)
+        return self.workload_gate
 
     # -- data loading ----------------------------------------------------------------
 

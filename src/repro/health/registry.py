@@ -28,6 +28,7 @@ of wall-clock sleeps, like the rest of the resilience machinery.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -110,6 +111,10 @@ class CircuitBreaker:
         self.state = BreakerState.CLOSED
         self.failure_streak = 0
         self.opened_at: Optional[float] = None
+        #: True while a half-open probe call is in flight — the single
+        #: probe slot; concurrent gate checks fast-fail until the probe
+        #: records an outcome (or aborts via :meth:`probe_finished`)
+        self._probe_inflight = False
         #: lifetime counters (observability)
         self.trips = 0
         self.probes = 0
@@ -122,6 +127,9 @@ class CircuitBreaker:
 
         Checking the gate while open-and-cooled transitions the breaker
         to half-open — the caller's next real call *is* the probe.
+        While that probe is in flight the half-open breaker admits
+        nobody else: exactly one caller consumes the probe slot,
+        concurrent callers fast-fail as if the breaker were open.
         """
         if self.state is BreakerState.CLOSED:
             return "closed"
@@ -130,17 +138,33 @@ class CircuitBreaker:
             if elapsed < self.config.cooldown_seconds:
                 return "blocked"
             self._transition(BreakerState.HALF_OPEN, "cool-down elapsed")
+        if self._probe_inflight:
+            return "blocked"
+        self._probe_inflight = True
         self.probes += 1
         return "probe"
+
+    def probe_finished(self) -> None:
+        """Release the probe slot without an outcome (probe aborted —
+        e.g. the guarded call died on a non-engine error).
+
+        Only meaningful while still half-open: once an outcome landed,
+        the breaker has moved on (and may even be mid-way through a
+        *new* probe that this late release must not clobber).
+        """
+        if self.state is BreakerState.HALF_OPEN:
+            self._probe_inflight = False
 
     # -- outcome events ------------------------------------------------
 
     def record_success(self) -> None:
+        self._probe_inflight = False
         self.failure_streak = 0
         if self.state is not BreakerState.CLOSED:
             self._transition(BreakerState.CLOSED, "probe succeeded")
 
     def record_failure(self, reason: str = "hard failure") -> None:
+        self._probe_inflight = False
         if self.state is BreakerState.CLOSED:
             self.failure_streak += 1
             if self.failure_streak >= self.config.failure_threshold:
@@ -202,18 +226,26 @@ class HealthRegistry:
         self.breakers: Dict[str, CircuitBreaker] = {}
         #: every state transition, in order (sliced by report windows)
         self.events: List[BreakerEvent] = []
+        # Breakers are driven from concurrent client threads under the
+        # overload benchmark; one reentrant lock serializes every
+        # state-machine step (gate + outcome + clock tick).
+        self._lock = threading.RLock()
 
     def breaker(self, db: str) -> CircuitBreaker:
-        breaker = self.breakers.get(db)
-        if breaker is None:
-            breaker = CircuitBreaker(db, self.config, self.clock, self.events)
-            self.breakers[db] = breaker
-        return breaker
+        with self._lock:
+            breaker = self.breakers.get(db)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    db, self.config, self.clock, self.events
+                )
+                self.breakers[db] = breaker
+            return breaker
 
     # -- gating --------------------------------------------------------
 
     def gate(self, db: str) -> str:
-        return self.breaker(db).gate()
+        with self._lock:
+            return self.breaker(db).gate()
 
     def allow(self, db: str) -> bool:
         """Whether a guarded call to ``db`` may proceed right now."""
@@ -228,16 +260,25 @@ class HealthRegistry:
     # -- outcome events ------------------------------------------------
 
     def record_success(self, db: str) -> None:
-        self.clock.advance(self.config.tick_seconds)
-        self.breaker(db).record_success()
+        with self._lock:
+            self.clock.advance(self.config.tick_seconds)
+            self.breaker(db).record_success()
 
     def record_failure(self, db: str, reason: str = "hard failure") -> None:
-        self.clock.advance(self.config.tick_seconds)
-        self.breaker(db).record_failure(reason)
+        with self._lock:
+            self.clock.advance(self.config.tick_seconds)
+            self.breaker(db).record_failure(reason)
 
     def report_outage(self, db: str, reason: str = "outage observed") -> None:
         """Force-open ``db``'s breaker (the client saw it die)."""
-        self.breaker(db).trip(reason)
+        with self._lock:
+            self.breaker(db).trip(reason)
+
+    def finish_probe(self, db: str) -> None:
+        """Release ``db``'s probe slot if the probe never recorded an
+        outcome (the guarded call aborted before reaching the engine)."""
+        with self._lock:
+            self.breaker(db).probe_finished()
 
     # -- observability -------------------------------------------------
 

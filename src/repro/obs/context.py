@@ -23,6 +23,7 @@ context — same values, one source of truth.
 from __future__ import annotations
 
 import itertools
+import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.metrics import (
@@ -47,7 +48,10 @@ class QueryContext:
     """Tracer + metrics + attribution streams for one query submission."""
 
     def __init__(
-        self, query_id: Optional[str] = None, label: str = ""
+        self,
+        query_id: Optional[str] = None,
+        label: str = "",
+        qos: Optional[object] = None,
     ) -> None:
         self.query_id = query_id or f"q{next(_QUERY_IDS)}"
         self.label = label
@@ -59,6 +63,23 @@ class QueryContext:
         self.transfers: List[TransferRecord] = []
         #: circuit-breaker transitions observed while active
         self.breaker_events: List[object] = []
+        #: the submission's QoS contract (a ``repro.qos.QoSPolicy``,
+        #: duck-typed so the observability spine stays QoS-agnostic)
+        self.qos = qos
+        #: the armed per-query deadline budget, drawing down the
+        #: tracer's simulated clock (None without a deadline)
+        self.deadline = None
+        if qos is not None:
+            deadline = qos.make_deadline()
+            if deadline is not None:
+                deadline.arm(lambda: self.tracer.sim_now)
+            self.deadline = deadline
+        #: coarse phase label for structured DeadlineExceeded errors
+        self.current_phase = ""
+        #: real + simulated admission-gate spend (report views)
+        self.admission_wait_seconds = 0.0
+        self.admission_sim_seconds = 0.0
+        self._jitter_rngs: Dict[str, random.Random] = {}
 
     # -- activation ----------------------------------------------------
 
@@ -101,6 +122,63 @@ class QueryContext:
         self.tracer.current.backoff_seconds += seconds
         self.tracer.advance(seconds)
         self.metrics.inc("connector.backoff_seconds", seconds, db=db)
+
+    def enter_phase(self, name: str) -> None:
+        """Mark the submission's coarse phase and enforce the deadline.
+
+        The phase label lands in any
+        :class:`~repro.errors.DeadlineExceeded` raised afterwards, so a
+        caller can tell *where* the budget ran out (``"admission"``,
+        ``"plan"``, ``"delegate"``, ``"execute"``, ``"cleanup"``).
+        """
+        self.current_phase = name
+        if self.deadline is not None:
+            self.deadline.check(name)
+
+    def record_admission(self, lease: object) -> None:
+        """Attribute one admission-gate lease to this query.
+
+        The lease's real queue wait was already charged against the
+        deadline by the gate itself; here we fold it into the report
+        views and advance the simulated clock by the gate's
+        deterministic queue penalty (attributed to the active span,
+        i.e. the ``admit`` step).
+        """
+        waited = getattr(lease, "waited_seconds", 0.0)
+        penalty = getattr(lease, "sim_penalty_seconds", 0.0)
+        self.admission_wait_seconds += waited
+        self.admission_sim_seconds += penalty
+        self.metrics.inc("qos.admissions")
+        if waited:
+            self.metrics.inc("qos.admission_wait_seconds", waited)
+        if penalty:
+            self.tracer.advance(penalty)
+            if self.deadline is not None:
+                # The penalty advanced the armed clock; nothing extra
+                # to consume — the draw-down is automatic.
+                pass
+        self.tracer.add_event(
+            "admitted",
+            engines=",".join(getattr(lease, "engines", [])),
+            waited_seconds=waited,
+            sim_penalty_seconds=penalty,
+            priority=getattr(lease, "priority", 0),
+        )
+
+    def backoff_rng(self, db: str) -> random.Random:
+        """Per-query deterministic jitter stream for ``db``'s backoff.
+
+        Seeded by the query label rather than shared process-wide, so
+        concurrent queries against one engine do not synchronize their
+        retry storms, while two runs of the same labelled workload
+        still backoff identically.
+        """
+        rng = self._jitter_rngs.get(db)
+        if rng is None:
+            rng = self._jitter_rngs[db] = random.Random(
+                f"backoff:{db}:{self.label}"
+            )
+        return rng
 
     def record_breaker_event(self, event: object) -> None:
         """Collect a circuit-breaker state transition."""

@@ -9,35 +9,48 @@ inside the guarded call path.  Those layers look up the **active**
 context here instead of growing a context parameter on every call
 signature (the OpenTelemetry "current span" pattern).
 
-The stack is a plain module-level list: the whole federation is a
-single-threaded simulation, and a deterministic LIFO keeps re-entrant
-activations (a prepared query executed while another context is live)
-well-defined.  This module deliberately imports nothing from the rest
-of ``repro`` so every layer can depend on it without cycles.
+The stack is **thread-local**: each submission runs start-to-finish on
+one thread, and the overload benchmark drives many concurrent client
+threads over one shared deployment — a per-thread LIFO keeps every
+thread's observations attributed to its own query while re-entrant
+activations on the same thread (a prepared query executed while
+another context is live) stay well-defined.  This module deliberately
+imports nothing from the rest of ``repro`` so every layer can depend
+on it without cycles.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
-_STACK: List[object] = []
+_LOCAL = threading.local()
+
+
+def _stack() -> List[object]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
 
 
 def push_context(ctx: object) -> None:
-    """Make ``ctx`` the active observation context."""
-    _STACK.append(ctx)
+    """Make ``ctx`` the active observation context on this thread."""
+    _stack().append(ctx)
 
 
 def pop_context(ctx: object) -> None:
     """Deactivate ``ctx``; it must be the innermost active context."""
-    if not _STACK or _STACK[-1] is not ctx:
+    stack = _stack()
+    if not stack or stack[-1] is not ctx:
         raise RuntimeError(
             "observation context stack corrupted: popped context is not "
             "the innermost active one"
         )
-    _STACK.pop()
+    stack.pop()
 
 
 def current_context() -> Optional[object]:
-    """The innermost active context, or ``None`` outside any query."""
-    return _STACK[-1] if _STACK else None
+    """This thread's innermost active context (None outside queries)."""
+    stack = _stack()
+    return stack[-1] if stack else None

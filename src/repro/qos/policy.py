@@ -1,0 +1,102 @@
+"""Per-query QoS: what one submission is allowed to cost and to shed.
+
+A :class:`QoSPolicy` travels with one query submission (``XDB.submit``
+/ ``PreparedQuery.execute``) and declares
+
+* its **deadline** — the consumable budget of
+  :class:`~repro.qos.deadline.Deadline` seconds, with an optional
+  per-call cap and a rollback grace budget;
+* its **priority** — what the admission gate sheds first under
+  overload (``PRIORITY_LOW`` waiters go before ``PRIORITY_NORMAL``,
+  which go before ``PRIORITY_HIGH``);
+* its **staleness bound** — an opt-in contract for graceful
+  degradation: a prepared query with ``max_staleness_seconds`` set may
+  be answered from its existing materialization snapshots (skipping
+  the refresh) when an authoritative engine is saturated or its
+  breaker is open, provided the snapshots are no older than the bound
+  on the federation's simulated clock.  The served staleness is
+  recorded in ``XDBReport.qos``.
+
+The :class:`QoSReport` is the submission-side receipt: admission wait,
+deadline spend, and whether (and how stale) a degraded answer was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.qos.deadline import DEFAULT_GRACE_SECONDS, Deadline
+
+#: Priority levels the admission gate sheds between (higher survives).
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
+
+
+@dataclass(frozen=True)
+class QoSPolicy:
+    """One query's quality-of-service contract."""
+
+    #: total deadline budget (None = no deadline, legacy behavior)
+    deadline_seconds: Optional[float] = None
+    #: per-call ceiling below the remaining deadline (the tentpole's
+    #: ``min(remaining_deadline, per_call_cap)`` rule)
+    per_call_cap_seconds: Optional[float] = None
+    #: cleanup budget once the deadline has expired mid-delegation
+    grace_seconds: float = DEFAULT_GRACE_SECONDS
+    #: admission priority (shed lowest first)
+    priority: int = PRIORITY_NORMAL
+    #: opt-in staleness bound for degraded (snapshot) answers; None
+    #: means the query insists on authoritative data
+    max_staleness_seconds: Optional[float] = None
+
+    def make_deadline(self) -> Optional[Deadline]:
+        """Build this policy's :class:`Deadline` (None without one)."""
+        if self.deadline_seconds is None:
+            return None
+        return Deadline(
+            self.deadline_seconds,
+            per_call_cap_seconds=self.per_call_cap_seconds,
+            grace_seconds=self.grace_seconds,
+        )
+
+
+@dataclass
+class QoSReport:
+    """What one submission's QoS machinery actually did."""
+
+    priority: int = PRIORITY_NORMAL
+    #: the submitted deadline budget (None = no deadline)
+    deadline_seconds: Optional[float] = None
+    #: budget left when the result came back
+    deadline_remaining_seconds: Optional[float] = None
+    #: real seconds spent queued at the admission gate
+    admission_wait_seconds: float = 0.0
+    #: simulated queue penalty charged by the gate
+    admission_sim_seconds: float = 0.0
+    #: engines the submission held concurrency tokens for
+    admitted_engines: List[str] = field(default_factory=list)
+    #: True when the answer was served from materialization snapshots
+    #: instead of refreshing against the authoritative engines
+    stale_read: bool = False
+    #: snapshot age (simulated seconds) when ``stale_read`` is True
+    staleness_seconds: Optional[float] = None
+
+    def describe(self) -> str:
+        parts = [f"priority={self.priority}"]
+        if self.deadline_seconds is not None:
+            parts.append(
+                f"deadline {self.deadline_seconds:.3f}s "
+                f"(remaining {self.deadline_remaining_seconds:.3f}s)"
+            )
+        if self.admission_wait_seconds or self.admission_sim_seconds:
+            parts.append(
+                "admission wait "
+                f"{self.admission_wait_seconds + self.admission_sim_seconds:.3f}s"
+            )
+        if self.stale_read:
+            parts.append(
+                f"stale read ({self.staleness_seconds:.3f}s behind)"
+            )
+        return ", ".join(parts)
