@@ -1,0 +1,34 @@
+"""Cost-model calibration harness.
+
+The engine profiles in :mod:`repro.engine.profiles` ship with hand-set
+cost constants.  This package measures how wrong they are and fixes
+them: it runs a parameterized micro-workload per engine profile with
+per-operator instrumentation enabled (:mod:`repro.engine.instrument`),
+reads the measured timings back off the observability spine's operator
+spans, regresses the calibratable constants against the measurements,
+and reports per-operator **Q-error** — ``max(est/actual, actual/est)``
+— before and after.  The calibrated profile set it emits is consumed
+transparently by :func:`repro.engine.profiles.load_calibrated`:
+``CostModel``, EXPLAIN, and the Rule-4 annotator's connector costing
+all read profiles through ``profile_for`` and pick the overlay up.
+
+Run it with ``python -m repro.calibrate``.
+"""
+
+from repro.calibrate.fit import (
+    evaluate_constants,
+    fit_constants,
+    q_error,
+)
+from repro.calibrate.harness import Observation, run_workload
+from repro.calibrate.workload import MicroWorkload, build_workload
+
+__all__ = [
+    "MicroWorkload",
+    "Observation",
+    "build_workload",
+    "evaluate_constants",
+    "fit_constants",
+    "q_error",
+    "run_workload",
+]

@@ -1,0 +1,135 @@
+"""Fit cost constants to measured timings; score with Q-error.
+
+The cost formulas are linear in the constants, so each observation
+gives ``units = sum(constant * feature)`` with
+``units = seconds * profile.calibration``.  Rather than a joint least
+squares — which the largest operators would dominate, the wrong
+objective for a *ratio* metric like Q-error — the fit solves the
+constants in dependency order with per-observation ratio medians:
+
+1. ``cpu_tuple_cost`` from the operators driven by it alone (filters,
+   projections, limits, distinct, union, nested loops);
+2. ``seq_scan_cost_per_row``, ``sort_cost_factor``, and
+   ``foreign_fetch_cost_per_row``, each from its own operator family;
+3. ``hash_build_cost_per_row`` from hash joins / aggregations after
+   subtracting the already-fitted ``cpu_tuple_cost`` share.
+
+Medians over repeats make the fit robust to scheduler noise in the
+measured wall timings.
+"""
+
+from __future__ import annotations
+
+from statistics import median
+from typing import Dict, Iterable, List, Mapping
+
+from repro.calibrate.harness import Observation
+from repro.engine.profiles import CALIBRATABLE_CONSTANTS, EngineProfile
+
+#: Smallest admissible constant: keeps fitted profiles strictly
+#: positive so downstream cost comparisons never divide by zero.
+CONSTANT_FLOOR = 1e-6
+
+
+def q_error(estimated: float, actual: float) -> float:
+    """The planner-lie metric: ``max(est/actual, actual/est)`` (>= 1)."""
+    est = max(estimated, 1e-12)
+    act = max(actual, 1e-12)
+    return max(est / act, act / est)
+
+
+def predicted_units(
+    features: Mapping[str, float], constants: Mapping[str, float]
+) -> float:
+    return sum(
+        constants.get(name, 0.0) * value
+        for name, value in features.items()
+    )
+
+
+def _ratio_median(
+    observations: Iterable[Observation],
+    constant: str,
+    calibration: float,
+    residual_constants: Mapping[str, float],
+) -> float:
+    """Median of per-observation solutions for one constant.
+
+    For each observation, subtract the share explained by the
+    already-fitted ``residual_constants`` and divide what is left by
+    this constant's own feature.
+    """
+    solutions: List[float] = []
+    for obs in observations:
+        feature = obs.features.get(constant, 0.0)
+        if feature <= 0.0:
+            continue
+        explained = sum(
+            residual_constants.get(name, 0.0) * value
+            for name, value in obs.features.items()
+            if name != constant
+        )
+        units = obs.seconds * calibration - explained
+        solutions.append(max(units / feature, CONSTANT_FLOOR))
+    if not solutions:
+        return 0.0
+    return median(solutions)
+
+
+#: Fit order: constants whose observations depend on earlier fits last.
+_FIT_PLAN = (
+    # (constant, operator kinds that isolate it best)
+    ("cpu_tuple_cost", ("Filter", "Project", "Limit", "DistinctOp",
+                        "UnionAllOp", "NestedLoopJoin")),
+    ("seq_scan_cost_per_row", ("SeqScan", "ValuesScan")),
+    ("sort_cost_factor", ("Sort",)),
+    ("foreign_fetch_cost_per_row", ("ForeignScan",)),
+    ("hash_build_cost_per_row", ("HashJoin", "HashAggregate")),
+)
+
+
+def fit_constants(
+    observations: List[Observation], profile: EngineProfile
+) -> Dict[str, float]:
+    """Calibrated constants for ``profile`` from measured observations.
+
+    Constants with no supporting observations keep their seed values.
+    """
+    fitted: Dict[str, float] = {}
+    for constant, kinds in _FIT_PLAN:
+        subset = [obs for obs in observations if obs.op in kinds]
+        value = _ratio_median(
+            subset, constant, profile.calibration, fitted
+        )
+        if value <= 0.0:
+            value = getattr(profile, constant)
+        fitted[constant] = max(value, CONSTANT_FLOOR)
+    assert set(fitted) == set(CALIBRATABLE_CONSTANTS)
+    return fitted
+
+
+def evaluate_constants(
+    observations: List[Observation],
+    constants: Mapping[str, float],
+    calibration: float,
+) -> Dict[str, object]:
+    """Per-operator and overall Q-error of ``constants`` vs measurement."""
+    per_op: Dict[str, List[float]] = {}
+    for obs in observations:
+        predicted = predicted_units(obs.features, constants)
+        actual = obs.seconds * calibration
+        per_op.setdefault(obs.op, []).append(q_error(predicted, actual))
+    all_errors = [err for errors in per_op.values() for err in errors]
+    return {
+        "per_operator": {
+            op: {
+                "count": len(errors),
+                "median_q_error": median(errors),
+                "max_q_error": max(errors),
+            }
+            for op, errors in sorted(per_op.items())
+        },
+        "median_q_error": median(all_errors) if all_errors else 1.0,
+        "max_q_error": max(all_errors) if all_errors else 1.0,
+        "observations": len(all_errors),
+    }

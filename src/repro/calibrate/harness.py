@@ -1,0 +1,187 @@
+"""Run the micro-workload and harvest per-operator observations.
+
+The harness is deliberately indirect: it does **not** read timings off
+the physical plan.  It executes each query inside a
+:class:`~repro.obs.context.QueryContext` with
+``Database.instrument_execution`` enabled, then walks the *operator
+spans* the engine mirrored into the trace — the same spans ``/trace``
+exports — and turns each one into an :class:`Observation` pairing the
+operator's measured self seconds with the cost-formula features
+(driver cardinalities) the fit regresses against.  If the span export
+breaks, calibration breaks: the observability spine is load-bearing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.calibrate.workload import MicroWorkload, build_workload
+from repro.obs.context import QueryContext
+
+#: Wall-seconds floor: keeps Q-error ratios finite when an operator ran
+#: faster than the timer can resolve.
+MIN_SECONDS = 1e-7
+
+
+@dataclass
+class Observation:
+    """One measured operator instance from one query execution."""
+
+    #: operator kind, normalized from the span label (``"SeqScan"``,
+    #: ``"HashJoin"``, ``"DistinctOp"``, ...)
+    op: str
+    #: name of the workload query that produced it
+    query: str
+    #: cost-formula features: constant name -> driver cardinality, the
+    #: same formulas as ``CostModel.node_self_cost`` but evaluated at
+    #: *measured* cardinalities so the fit isolates constant error from
+    #: cardinality-estimation error
+    features: Dict[str, float] = field(default_factory=dict)
+    #: measured self wall seconds (plus simulated transfer seconds for
+    #: ForeignScan, whose cost constant models the whole fetch)
+    seconds: float = MIN_SECONDS
+
+
+def _span_kind(label: str) -> str:
+    return label.split("[", 1)[0]
+
+
+def _operator_spans(root, db_name: str) -> List[object]:
+    """Every operator span for ``db_name`` under ``root``, pre-order."""
+    found: List[object] = []
+
+    def visit(span) -> None:
+        if (
+            span.kind == "operator"
+            and span.attributes.get("db") == db_name
+        ):
+            found.append(span)
+        for child in span.children:
+            visit(child)
+
+    visit(root)
+    return found
+
+
+def _span_self_seconds(span) -> float:
+    """Inclusive measured seconds minus the children's inclusive."""
+    inclusive = float(span.attributes.get("exec_seconds", 0.0))
+    children = sum(
+        float(child.attributes.get("exec_seconds", 0.0))
+        for child in span.children
+        if child.kind == "operator"
+    )
+    return max(inclusive - children, 0.0)
+
+
+def _features_for(
+    kind: str, rows_out: float, child_rows: List[float]
+) -> Optional[Dict[str, float]]:
+    """Cost-formula drivers for one operator (measured cardinalities).
+
+    Mirrors ``CostModel.node_self_cost``; returns ``None`` for operator
+    kinds the cost model does not charge per-row work to.
+    """
+    out = max(rows_out, 1.0)
+    if kind in ("SeqScan", "ValuesScan"):
+        return {"seq_scan_cost_per_row": out}
+    if kind == "ForeignScan":
+        return {"foreign_fetch_cost_per_row": out}
+    if kind == "Filter":
+        rows_in = max(child_rows[0] if child_rows else rows_out, 1.0)
+        return {"cpu_tuple_cost": rows_in}
+    if kind == "Project":
+        return {"cpu_tuple_cost": out}
+    if kind == "HashJoin":
+        left = max(child_rows[0] if child_rows else 1.0, 1.0)
+        right = max(
+            child_rows[1] if len(child_rows) > 1 else 1.0, 1.0
+        )
+        return {
+            "hash_build_cost_per_row": min(left, right),
+            "cpu_tuple_cost": max(left, right) + out,
+        }
+    if kind == "NestedLoopJoin":
+        left = max(child_rows[0] if child_rows else 1.0, 1.0)
+        right = max(
+            child_rows[1] if len(child_rows) > 1 else 1.0, 1.0
+        )
+        return {"cpu_tuple_cost": left * right}
+    if kind == "HashAggregate":
+        rows_in = max(sum(child_rows), 1.0)
+        return {
+            "cpu_tuple_cost": rows_in,
+            "hash_build_cost_per_row": rows_in,
+        }
+    if kind == "Sort":
+        rows_in = max(child_rows[0] if child_rows else rows_out, 1.0)
+        return {"sort_cost_factor": rows_in * max(math.log2(rows_in), 1.0)}
+    if kind in ("Limit", "DistinctOp", "UnionAllOp"):
+        return {"cpu_tuple_cost": out}
+    return None
+
+
+def observe_query(
+    workload: MicroWorkload, name: str, sql: str
+) -> List[Observation]:
+    """Execute one workload query and extract its operator observations."""
+    with QueryContext(label=f"calibrate:{name}") as ctx:
+        workload.local.execute(sql)
+    spans = _operator_spans(ctx.root, workload.local.name)
+    fdw_seconds = sum(
+        record.seconds for record in ctx.transfers if record.tag == "fdw"
+    )
+    foreign_count = sum(
+        1 for span in spans if _span_kind(span.name) == "ForeignScan"
+    )
+    observations: List[Observation] = []
+    for span in spans:
+        kind = _span_kind(span.name)
+        child_rows = [
+            float(child.attributes.get("rows_out", 0))
+            for child in span.children
+            if child.kind == "operator"
+        ]
+        features = _features_for(
+            kind, float(span.attributes.get("rows_out", 0)), child_rows
+        )
+        if not features:
+            continue
+        seconds = _span_self_seconds(span)
+        if kind == "ForeignScan" and foreign_count:
+            # The fetch constant models production + wire transfer; the
+            # simulated network seconds live on the context's ledger.
+            seconds += fdw_seconds / foreign_count
+        observations.append(
+            Observation(
+                op=kind,
+                query=name,
+                features=features,
+                seconds=max(seconds, MIN_SECONDS),
+            )
+        )
+    return observations
+
+
+def run_workload(
+    profile: str,
+    rows: int,
+    repeat: int = 3,
+    execution_mode: str = "batch",
+) -> List[Observation]:
+    """All observations for one profile over ``repeat`` fresh runs.
+
+    Each repeat rebuilds the workload from the same seed, so repeats
+    measure timing noise rather than data drift.
+    """
+    observations: List[Observation] = []
+    for _ in range(repeat):
+        workload = build_workload(
+            profile, rows=rows, execution_mode=execution_mode
+        )
+        workload.local.instrument_execution = True
+        for name, sql in workload.queries:
+            observations.extend(observe_query(workload, name, sql))
+    return observations

@@ -203,12 +203,91 @@ class CardinalityEstimator:
 
     def _est_Distinct(self, plan: algebra.Distinct) -> _NodeEstimate:
         child = self._estimate(plan.child)
-        return _NodeEstimate(rows=child.rows * 0.9, columns=child.columns)
+        # Distinct rows are bounded by the product of the output
+        # columns' NDVs (capped by the input cardinality).  Columns
+        # without statistics contribute a default NDV factor, same as
+        # the grouping estimate.
+        product = 1.0
+        known_any = False
+        for field in plan.schema:
+            stats = child.columns.get((field.relation, field.name.lower()))
+            if stats is not None and stats.ndv > 0:
+                known_any = True
+                product *= float(stats.ndv)
+            else:
+                product *= 10.0
+            # Early cap: keeps the product finite on wide schemas.
+            product = min(product, max(child.rows, 1.0))
+        if known_any:
+            rows = min(product, child.rows)
+        else:
+            rows = child.rows * 0.9
+        return _NodeEstimate(rows=rows, columns=_scale(child.columns, rows))
 
     def _est_Union(self, plan: "algebra.Union") -> _NodeEstimate:
         left = self._estimate(plan.left)
         right = self._estimate(plan.right)
-        return _NodeEstimate(rows=left.rows + right.rows, columns={})
+        rows = left.rows + right.rows
+        # Merge per-position column statistics instead of discarding
+        # them: the union's schema takes the left input's names.
+        columns: Dict[ColumnKey, ColumnStats] = {}
+        for left_field, right_field, out_field in zip(
+            plan.left.schema, plan.right.schema, plan.schema
+        ):
+            left_stats = left.columns.get(
+                (left_field.relation, left_field.name.lower())
+            )
+            right_stats = right.columns.get(
+                (right_field.relation, right_field.name.lower())
+            )
+            merged = _merge_union_stats(
+                left_stats, right_stats, left.rows, right.rows
+            )
+            if merged is not None:
+                columns[(out_field.relation, out_field.name.lower())] = merged
+        return _NodeEstimate(rows=rows, columns=_scale(columns, rows))
+
+
+def _merge_union_stats(
+    left: Optional[ColumnStats],
+    right: Optional[ColumnStats],
+    left_rows: float,
+    right_rows: float,
+) -> Optional[ColumnStats]:
+    """Column statistics for one UNION ALL output position.
+
+    A side without statistics may contribute up to its full row count
+    of distinct values, so its NDV is bounded by its cardinality; its
+    value bounds are unknown, which poisons min/max (returning wrong
+    bounds would skew range selectivity downstream).
+    """
+    if left is None and right is None:
+        return None
+    left_ndv = float(left.ndv) if left is not None else max(left_rows, 1.0)
+    right_ndv = (
+        float(right.ndv) if right is not None else max(right_rows, 1.0)
+    )
+    ndv = int(left_ndv + right_ndv)
+    null_count = (left.null_count if left else 0) + (
+        right.null_count if right else 0
+    )
+    min_value = max_value = None
+    if left is not None and right is not None:
+        try:
+            if left.min_value is not None and right.min_value is not None:
+                min_value = min(left.min_value, right.min_value)
+            if left.max_value is not None and right.max_value is not None:
+                max_value = max(left.max_value, right.max_value)
+        except TypeError:
+            min_value = max_value = None
+    widths = [s.avg_width for s in (left, right) if s is not None]
+    return ColumnStats(
+        ndv=ndv,
+        null_count=null_count,
+        min_value=min_value,
+        max_value=max_value,
+        avg_width=sum(widths) / len(widths),
+    )
 
 
 def _scale(
@@ -474,10 +553,20 @@ class CostModel:
     def _node_cost(
         self, plan: algebra.LogicalPlan, estimator: CardinalityEstimator
     ) -> float:
-        profile = self.profile
         child_cost = sum(
             self._node_cost(child, estimator) for child in plan.children()
         )
+        return child_cost + self.node_self_cost(plan, estimator)
+
+    def node_self_cost(
+        self, plan: algebra.LogicalPlan, estimator: CardinalityEstimator
+    ) -> float:
+        """This operator's own cost contribution, excluding children.
+
+        The same formulas, driven by *measured* instead of estimated
+        cardinalities, back the calibration harness's per-operator
+        Q-error computation (see :mod:`repro.calibrate`)."""
+        profile = self.profile
         rows_out = max(estimator.estimate_rows(plan), 1.0)
 
         if isinstance(plan, algebra.Scan):
@@ -487,9 +576,9 @@ class CostModel:
             return rows_out * profile.seq_scan_cost_per_row
         if isinstance(plan, algebra.Filter):
             rows_in = max(estimator.estimate_rows(plan.child), 1.0)
-            return child_cost + rows_in * profile.cpu_tuple_cost
+            return rows_in * profile.cpu_tuple_cost
         if isinstance(plan, (algebra.Project, algebra.Alias)):
-            return child_cost + rows_out * profile.cpu_tuple_cost
+            return rows_out * profile.cpu_tuple_cost
         if isinstance(plan, algebra.Join):
             left_rows = max(estimator.estimate_rows(plan.left), 1.0)
             right_rows = max(estimator.estimate_rows(plan.right), 1.0)
@@ -497,22 +586,21 @@ class CostModel:
                 build = min(left_rows, right_rows)
                 probe = max(left_rows, right_rows)
                 return (
-                    child_cost
-                    + build * profile.hash_build_cost_per_row
+                    build * profile.hash_build_cost_per_row
                     + probe * profile.cpu_tuple_cost
                     + rows_out * profile.cpu_tuple_cost
                 )
-            return child_cost + left_rows * right_rows * profile.cpu_tuple_cost
+            return left_rows * right_rows * profile.cpu_tuple_cost
         if isinstance(plan, algebra.Aggregate):
             rows_in = max(estimator.estimate_rows(plan.child), 1.0)
-            return child_cost + rows_in * (
+            return rows_in * (
                 profile.cpu_tuple_cost + profile.hash_build_cost_per_row
             )
         if isinstance(plan, algebra.Sort):
             rows_in = max(estimator.estimate_rows(plan.child), 1.0)
-            return child_cost + profile.sort_cost_factor * rows_in * max(
+            return profile.sort_cost_factor * rows_in * max(
                 math.log2(rows_in), 1.0
             )
         if isinstance(plan, (algebra.Limit, algebra.Distinct)):
-            return child_cost + rows_out * profile.cpu_tuple_cost
-        return child_cost + rows_out * profile.cpu_tuple_cost
+            return rows_out * profile.cpu_tuple_cost
+        return rows_out * profile.cpu_tuple_cost

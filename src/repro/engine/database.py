@@ -78,6 +78,11 @@ class Database:
         self.planner = LocalPlanner(self)
         self.cost_model = CostModel(self.profile)
         self.trace = ExecutionTrace()
+        #: when True, physical plans are wrapped with per-operator
+        #: timers (see :mod:`repro.engine.instrument`) and the operator
+        #: spans mirrored into the observability context carry measured
+        #: ``exec_seconds`` — the calibration harness's data source.
+        self.instrument_execution = False
         self._servers: Dict[str, object] = {}
 
     def __repr__(self) -> str:
@@ -162,6 +167,10 @@ class Database:
         plan = build_plan(select, self.catalog)
         plan = self.planner.optimize(plan)
         physical_plan = self.planner.to_physical(plan)
+        if self.instrument_execution:
+            from repro.engine.instrument import instrument_plan
+
+            instrument_plan(physical_plan)
         if self.execution_mode == "batch":
             rows: List[tuple] = []
             for batch in physical_plan.batches():

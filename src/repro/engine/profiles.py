@@ -18,9 +18,24 @@ latency and is built for clusters but runs on one node here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Mapping
 
 from repro.errors import CatalogError
+
+#: The cost constants the calibration harness (``repro.calibrate``)
+#: regresses against measured executor timings.  ``startup_cost`` and
+#: ``calibration`` stay fixed: the former is amortized noise on the
+#: micro-workload, the latter *defines* the units-to-seconds currency
+#: the fit solves in.
+CALIBRATABLE_CONSTANTS = (
+    "seq_scan_cost_per_row",
+    "cpu_tuple_cost",
+    "hash_build_cost_per_row",
+    "sort_cost_factor",
+    "foreign_fetch_cost_per_row",
+)
 
 
 @dataclass(frozen=True)
@@ -51,6 +66,22 @@ class EngineProfile:
     def cost_to_seconds(self, cost_units: float) -> float:
         """Calibrate engine-local cost units into simulated seconds."""
         return cost_units / self.calibration
+
+    def constants(self) -> Dict[str, float]:
+        """The calibratable cost constants as a plain mapping."""
+        return {
+            name: getattr(self, name) for name in CALIBRATABLE_CONSTANTS
+        }
+
+    def with_constants(self, **constants: float) -> "EngineProfile":
+        """A copy of this profile with some cost constants replaced."""
+        unknown = set(constants) - set(CALIBRATABLE_CONSTANTS)
+        if unknown:
+            raise CatalogError(
+                f"cannot calibrate constants {sorted(unknown)}; "
+                f"expected a subset of {list(CALIBRATABLE_CONSTANTS)}"
+            )
+        return replace(self, **constants)
 
 
 _PROFILES = {
@@ -107,10 +138,25 @@ _PROFILES = {
 }
 
 
+#: Calibrated overlay: when populated (see :func:`set_calibrated` /
+#: :func:`load_calibrated`), :func:`profile_for` serves these instead of
+#: the seed constants — every consumer downstream of a profile lookup
+#: (``CostModel``, EXPLAIN, the Rule-4 annotator's connector costing)
+#: picks them up with no further wiring.
+_CALIBRATED: Dict[str, EngineProfile] = {}
+
+
 def profile_for(name: str) -> EngineProfile:
-    """Look up a vendor profile by name (postgres / mariadb / hive)."""
+    """Look up a vendor profile by name (postgres / mariadb / hive).
+
+    A calibrated profile registered under the same name shadows the
+    seed constants.
+    """
+    key = name.lower()
+    if key in _CALIBRATED:
+        return _CALIBRATED[key]
     try:
-        return _PROFILES[name.lower()]
+        return _PROFILES[key]
     except KeyError:
         raise CatalogError(
             f"unknown engine profile {name!r}; "
@@ -121,3 +167,62 @@ def profile_for(name: str) -> EngineProfile:
 def available_profiles() -> list:
     """Names of all registered vendor profiles."""
     return sorted(_PROFILES)
+
+
+# -- calibrated profile sets (produced by ``python -m repro.calibrate``) ----
+
+
+def set_calibrated(profiles: Iterable[EngineProfile]) -> None:
+    """Register calibrated profiles so :func:`profile_for` serves them."""
+    for profile in profiles:
+        key = profile.name.lower()
+        if key not in _PROFILES:
+            raise CatalogError(
+                f"cannot calibrate unknown profile {profile.name!r}"
+            )
+        _CALIBRATED[key] = profile
+
+
+def clear_calibrated() -> None:
+    """Drop every calibrated override (back to the seed constants)."""
+    _CALIBRATED.clear()
+
+
+def dump_calibrated(profiles: Iterable[EngineProfile]) -> Dict[str, object]:
+    """Serialize a calibrated profile set to a JSON-friendly mapping."""
+    return {
+        "profiles": {
+            profile.name: profile.constants() for profile in profiles
+        }
+    }
+
+
+def load_calibrated(path: str, register: bool = True) -> list:
+    """Load a calibrated profile set emitted by ``repro.calibrate``.
+
+    Returns the :class:`EngineProfile` list; with ``register`` (the
+    default) it also installs them as the active overlay.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    mapping: Mapping[str, Mapping[str, float]] = payload.get("profiles", {})
+    profiles = [
+        profile_base(name).with_constants(
+            **{key: float(value) for key, value in constants.items()}
+        )
+        for name, constants in mapping.items()
+    ]
+    if register:
+        set_calibrated(profiles)
+    return profiles
+
+
+def profile_base(name: str) -> EngineProfile:
+    """The seed (un-calibrated) profile, ignoring any overlay."""
+    try:
+        return _PROFILES[name.lower()]
+    except KeyError:
+        raise CatalogError(
+            f"unknown engine profile {name!r}; "
+            f"expected one of {sorted(_PROFILES)}"
+        )

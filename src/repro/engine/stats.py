@@ -59,6 +59,10 @@ def _orderable(values: Sequence[object]) -> bool:
     ) and (
         len({type(v) is str for v in values}) <= 1
         and len({isinstance(v, datetime.date) for v in values}) <= 1
+        # date and datetime pass the check above together (datetime
+        # subclasses date) but are mutually non-comparable: a column
+        # mixing them would make min()/max() raise TypeError.
+        and len({isinstance(v, datetime.datetime) for v in values}) <= 1
     )
 
 

@@ -1,0 +1,68 @@
+"""The regression corpus: minimized fuzz findings, replayed forever.
+
+Each corpus file in ``tests/corpus/`` is one JSON document::
+
+    {
+        "name": "slash-in-server-name",
+        "description": "why this case once failed",
+        "spec": { ...case spec... }
+    }
+
+Replaying a corpus entry runs the full oracle set on its spec and
+expects a clean pass: every file encodes a bug that has been fixed,
+so a replay failure means a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.fuzz.oracle import run_case
+
+
+def save_case(
+    directory: str,
+    name: str,
+    description: str,
+    spec: Dict[str, object],
+) -> str:
+    """Write one corpus/artifact entry; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {"name": name, "description": description, "spec": spec},
+            handle,
+            indent=2,
+            ensure_ascii=False,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[Tuple[str, Dict[str, object]]]:
+    """All ``(filename, entry)`` pairs in ``directory``, sorted."""
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".json"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            entries.append((filename, json.load(handle)))
+    return entries
+
+
+def replay_corpus(directory: str) -> List[Tuple[str, List[str]]]:
+    """Run every corpus entry; returns ``(filename, failures)`` pairs
+    for entries that no longer pass."""
+    regressions = []
+    for filename, entry in load_corpus(directory):
+        failures = run_case(entry["spec"])
+        if failures:
+            regressions.append((filename, failures))
+    return regressions

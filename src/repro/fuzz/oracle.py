@@ -1,0 +1,263 @@
+"""Fuzz oracles: round-trip, differential execution, pushdown parity.
+
+Three invariants, each cheap to state and brutal to uphold:
+
+1. **Round-trip**: for every dialect, ``render(stmt)`` must parse back
+   to the same AST (modulo the recorded surface ``syntax``) and a
+   second render must reproduce the first text byte-for-byte.  The one
+   sanctioned exception: MariaDB's FEDERATED ``CONNECTION`` string
+   cannot represent ``/`` in a remote object name, and the renderer
+   must *say so* (raise ``SQLError``) rather than emit a string that
+   parses back wrong.
+2. **Differential execution**: a query returns the same multiset of
+   rows on the row engine (the oracle) and the batch engine, for every
+   vendor profile.
+3. **Pushdown parity**: a query over a foreign table on a two-engine
+   deployment returns the same rows as running it directly on the
+   remote engine, whatever the wrapper's pushdown capabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.engine.database import Database
+from repro.federation.deployment import Deployment
+from repro.fuzz.generators import query_statement, spec_to_statement
+from repro.relational.schema import Field, Schema
+from repro.sql import ast
+from repro.sql.dialects import available_dialects, dialect_for
+from repro.sql.parser import parse_statement
+from repro.sql.types import DOUBLE, INTEGER, varchar
+from repro.errors import SQLError
+
+DIALECTS = tuple(available_dialects())
+PROFILES = ("postgres", "mariadb", "hive")
+
+#: Values the fuzz schema's VARCHAR column cycles through — includes
+#: the string-pool edges so WHERE predicates on them can match rows.
+_B_VALUES = ["plain", "it's", "", "a''b", "sla/sh", "ünïcode-значение"]
+
+
+def _normalize(stmt: ast.Statement, dialect: str = "") -> ast.Statement:
+    """Erase surface markers the dialect is allowed to lose.
+
+    ``syntax`` on a foreign-table DDL records which surface parsed it;
+    MariaDB additionally drops federated tables with plain ``DROP
+    TABLE`` (the catalog sanctions that narrowing), so its DROP
+    round-trip may collapse FOREIGN TABLE to TABLE.
+    """
+    if isinstance(stmt, ast.CreateForeignTable):
+        return replace(stmt, syntax="postgres")
+    if (
+        dialect == "mariadb"
+        and isinstance(stmt, ast.DropObject)
+        and stmt.kind == "FOREIGN TABLE"
+    ):
+        return replace(stmt, kind="TABLE")
+    return stmt
+
+
+def expected_unrepresentable(stmt: ast.Statement, dialect: str) -> bool:
+    """True when ``dialect`` is *allowed* to refuse to render ``stmt``."""
+    return (
+        dialect == "mariadb"
+        and isinstance(stmt, ast.CreateForeignTable)
+        and "/" in stmt.remote_object
+    )
+
+
+def check_roundtrip(stmt: ast.Statement) -> List[str]:
+    """Render → parse → render through every dialect."""
+    failures: List[str] = []
+    for name in DIALECTS:
+        renderer = dialect_for(name)
+        try:
+            text = renderer.render(stmt)
+        except SQLError as exc:
+            if expected_unrepresentable(stmt, name):
+                continue
+            failures.append(f"{name}: render raised SQLError: {exc}")
+            continue
+        except Exception as exc:  # crash = finding
+            failures.append(f"{name}: render crashed: {exc!r}")
+            continue
+        if expected_unrepresentable(stmt, name):
+            failures.append(
+                f"{name}: rendered an unrepresentable statement "
+                f"instead of refusing: {text!r}"
+            )
+            continue
+        try:
+            parsed = parse_statement(text)
+        except Exception as exc:
+            failures.append(
+                f"{name}: rendered SQL does not parse back: {exc!r} "
+                f"for {text!r}"
+            )
+            continue
+        if _normalize(parsed, name) != _normalize(stmt, name):
+            failures.append(
+                f"{name}: AST changed across round-trip for {text!r}: "
+                f"parsed {parsed!r}"
+            )
+            continue
+        second = renderer.render(parsed)
+        if second != text:
+            failures.append(
+                f"{name}: render not idempotent: {text!r} -> {second!r}"
+            )
+    return failures
+
+
+# -- differential query execution ------------------------------------------
+
+
+def _fuzz_database(name: str, profile: str, mode: str) -> Database:
+    db = Database(name, profile=profile, execution_mode=mode)
+    t1 = [
+        (i % 70, _B_VALUES[i % len(_B_VALUES)], (i * 7 % 100) / 2.0)
+        for i in range(60)
+    ]
+    t2 = [(i * 3 % 70, f"d{i}") for i in range(20)]
+    db.create_table(
+        "t1",
+        Schema(
+            [
+                Field("a", INTEGER),
+                Field("b", varchar(25)),
+                Field("c", DOUBLE),
+            ]
+        ),
+        t1,
+    )
+    db.create_table(
+        "t2",
+        Schema([Field("a", INTEGER), Field("d", varchar(8))]),
+        t2,
+    )
+    return db
+
+
+def _canonical(rows) -> List[str]:
+    return sorted(repr(tuple(row)) for row in rows)
+
+
+def check_query_differential(spec: Dict[str, object]) -> List[str]:
+    """Row engine (oracle) vs batch engine, across all vendor profiles."""
+    select = query_statement(spec)
+    failures: List[str] = []
+    # LIMIT without ORDER BY legitimately leaves *which* rows
+    # implementation-defined; compare cardinalities only.
+    compare_rows = not (spec.get("limit") is not None and not spec.get("order"))
+    reference = None
+    for profile in PROFILES:
+        sql = dialect_for(profile).render(select)
+        results = {}
+        for mode in ("row", "batch"):
+            db = _fuzz_database(f"fz_{profile}_{mode}", profile, mode)
+            try:
+                results[mode] = db.execute(sql).rows
+            except Exception as exc:
+                failures.append(
+                    f"{profile}/{mode}: execution failed: {exc!r} "
+                    f"for {sql!r}"
+                )
+        if len(results) < 2:
+            continue
+        row_c, batch_c = (
+            _canonical(results["row"]),
+            _canonical(results["batch"]),
+        )
+        if compare_rows and row_c != batch_c:
+            failures.append(
+                f"{profile}: row vs batch mismatch "
+                f"({len(row_c)} vs {len(batch_c)} rows) for {sql!r}"
+            )
+        if len(row_c) != len(batch_c):
+            failures.append(
+                f"{profile}: row vs batch cardinality mismatch "
+                f"({len(row_c)} vs {len(batch_c)}) for {sql!r}"
+            )
+        if compare_rows:
+            if reference is None:
+                reference = (profile, row_c)
+            elif reference[1] != row_c:
+                failures.append(
+                    f"{profile}: differs from {reference[0]} on the "
+                    f"same data for {sql!r}"
+                )
+    return failures
+
+
+# -- foreign-table pushdown parity -----------------------------------------
+
+
+def check_pushdown(spec: Dict[str, object]) -> List[str]:
+    """Delegated foreign-table query vs direct remote execution."""
+    failures: List[str] = []
+    deployment = Deployment(
+        {"L": "postgres", "R": spec["remote_profile"]}
+    )
+    local, remote = (
+        deployment.databases["L"],
+        deployment.databases["R"],
+    )
+    rt = [(i % 70, (i * 3 % 50) / 2.0) for i in range(120)]
+    remote.create_table(
+        "rt",
+        Schema([Field("a", INTEGER), Field("c", DOUBLE)]),
+        rt,
+    )
+    ddl = ast.CreateForeignTable(
+        name="ft",
+        columns=(
+            ast.ColumnDef("a", INTEGER),
+            ast.ColumnDef("c", DOUBLE),
+        ),
+        server="R",
+        remote_object="rt",
+    )
+    try:
+        local.execute(local.dialect.render(ddl))
+    except Exception as exc:
+        return [f"foreign-table DDL failed: {exc!r}"]
+    projection = "a, c" if spec.get("project_all") else "a"
+    where = ""
+    if spec.get("where_value") is not None:
+        where = f" WHERE a > {spec['where_value']}"
+    try:
+        delegated = local.execute(
+            f"SELECT {projection} FROM ft{where}"
+        ).rows
+        direct = remote.execute(
+            f"SELECT {projection} FROM rt{where}"
+        ).rows
+    except Exception as exc:
+        return [
+            f"pushdown execution failed on "
+            f"{spec['remote_profile']}: {exc!r}"
+        ]
+    if _canonical(delegated) != _canonical(direct):
+        failures.append(
+            f"pushdown mismatch vs {spec['remote_profile']}: "
+            f"{len(delegated)} delegated rows vs {len(direct)} direct "
+            f"(projection={projection!r}, where={where!r})"
+        )
+    return failures
+
+
+def run_case(spec: Dict[str, object]) -> List[str]:
+    """Run every applicable oracle; empty list means the case passed."""
+    kind = spec["kind"]
+    if kind == "pushdown":
+        return check_pushdown(spec)
+    try:
+        stmt = spec_to_statement(spec)
+    except Exception as exc:
+        return [f"spec_to_statement crashed: {exc!r}"]
+    failures = check_roundtrip(stmt)
+    if kind == "query":
+        failures.extend(check_query_differential(spec))
+    return failures

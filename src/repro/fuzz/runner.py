@@ -1,0 +1,72 @@
+"""The fuzz campaign driver: corpus replay + seeded generation + shrink."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fuzz.corpus import replay_corpus, save_case
+from repro.fuzz.generators import generate_case
+from repro.fuzz.oracle import run_case
+from repro.fuzz.shrink import shrink_case
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int
+    cases: int
+    #: generated cases whose oracles failed: (index, shrunk spec, failures)
+    failures: List[Tuple[int, Dict[str, object], List[str]]] = field(
+        default_factory=list
+    )
+    #: corpus entries that regressed: (filename, failures)
+    regressions: List[Tuple[str, List[str]]] = field(default_factory=list)
+    kinds: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.regressions
+
+
+def run_fuzz(
+    seed: int,
+    cases: int,
+    corpus_dir: Optional[str] = None,
+    artifacts_dir: Optional[str] = None,
+    progress=None,
+) -> FuzzReport:
+    """Replay the corpus, then fuzz ``cases`` fresh specs.
+
+    Every statement case is exercised through all ``len(DIALECTS)``
+    dialects by the round-trip oracle, so ``cases=500`` means 500
+    seeded cases *per dialect*.  Failures are shrunk to minimal specs
+    and, when ``artifacts_dir`` is given, saved there for triage.
+    """
+    report = FuzzReport(seed=seed, cases=cases)
+    if corpus_dir:
+        report.regressions = replay_corpus(corpus_dir)
+    for index in range(cases):
+        # One independent deterministic stream per case: shrinking or
+        # re-running case i never perturbs case i+1.
+        rng = random.Random(seed * 1_000_003 + index)
+        spec = generate_case(rng)
+        kind = str(spec["kind"])
+        report.kinds[kind] = report.kinds.get(kind, 0) + 1
+        failures = run_case(spec)
+        if failures:
+            shrunk = shrink_case(spec, lambda s: bool(run_case(s)))
+            shrunk_failures = run_case(shrunk)
+            report.failures.append((index, shrunk, shrunk_failures))
+            if artifacts_dir:
+                save_case(
+                    artifacts_dir,
+                    f"case-{seed}-{index}",
+                    "; ".join(shrunk_failures),
+                    shrunk,
+                )
+        if progress and (index + 1) % 100 == 0:
+            progress(index + 1, cases)
+    return report

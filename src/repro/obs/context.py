@@ -201,12 +201,19 @@ class QueryContext:
         """
 
         def build(node: object, parent: Span) -> None:
+            extra = {}
+            if getattr(node, "_instrumented", False):
+                # Measured inclusive wall seconds (see
+                # repro.engine.instrument) — the calibration harness
+                # reads these off the span tree.
+                extra["exec_seconds"] = getattr(node, "exec_seconds", 0.0)
             span = self.tracer.record_span(
                 node.label(),
                 parent=parent,
                 kind="operator",
                 db=db,
                 rows_out=getattr(node, "rows_out", 0),
+                **extra,
             )
             for child in node.children():
                 build(child, span)

@@ -36,11 +36,21 @@ class MariaDBDialect(Renderer):
     identifier_quote = "`"
 
     def _stmt_CreateForeignTable(self, stmt: ast.CreateForeignTable) -> str:
+        # The FEDERATED surface packs server and object into one string
+        # literal separated by the *last* '/' (the parser splits from
+        # the right).  Server names may therefore contain '/', object
+        # names may not — there is no escape for the separator.
+        if "/" in stmt.remote_object:
+            raise SQLError(
+                f"remote object {stmt.remote_object!r} contains '/'; "
+                "the MariaDB FEDERATED CONNECTION string cannot "
+                "represent it"
+            )
         connection = f"{stmt.server}/{stmt.remote_object}"
         return (
             f"CREATE TABLE {self.identifier(stmt.name)} "
             f"{self._column_defs(stmt.columns)} "
-            f"ENGINE=FEDERATED CONNECTION='{connection}'"
+            f"ENGINE=FEDERATED CONNECTION={self.literal(connection)}"
         )
 
     def _stmt_DropObject(self, stmt: ast.DropObject) -> str:
@@ -60,8 +70,8 @@ class HiveDialect(Renderer):
         return (
             f"CREATE EXTERNAL TABLE {self.identifier(stmt.name)} "
             f"{self._column_defs(stmt.columns)} "
-            f"STORED BY '{stmt.server}' "
-            f"OPTIONS (table_name '{stmt.remote_object}')"
+            f"STORED BY {self.literal(stmt.server)} "
+            f"OPTIONS (table_name {self.literal(stmt.remote_object)})"
         )
 
     def _stmt_DropObject(self, stmt: ast.DropObject) -> str:

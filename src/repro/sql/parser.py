@@ -301,7 +301,9 @@ class Parser:
             if not self._accept_operator("="):
                 raise self._error("expected '=' after CONNECTION")
             connection = self._string("connection string")
-            server, _, remote = connection.partition("/")
+            # Split on the LAST '/': server names may contain '/'
+            # (e.g. host/schema prefixes), the trailing object may not.
+            server, _, remote = connection.rpartition("/")
             if not server or not remote:
                 raise self._error(
                     "CONNECTION must look like 'server/remote_table'"

@@ -272,7 +272,7 @@ class Renderer:
             f"CREATE FOREIGN TABLE {self.identifier(stmt.name)} "
             f"{self._column_defs(stmt.columns)} "
             f"SERVER {self.identifier(stmt.server)} "
-            f"OPTIONS (table_name '{stmt.remote_object}')"
+            f"OPTIONS (table_name {self.literal(stmt.remote_object)})"
         )
 
     def _stmt_CreateTable(self, stmt: ast.CreateTable) -> str:

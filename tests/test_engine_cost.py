@@ -174,3 +174,55 @@ def test_placeholder_scan_uses_preset_estimate():
 def test_calibration_converts_units_to_seconds():
     profile = profile_for("postgres")
     assert profile.cost_to_seconds(profile.calibration) == pytest.approx(1.0)
+
+
+def test_distinct_estimate_uses_column_ndv(db):
+    """DISTINCT over a 4-value category is ~4 rows, not 90% of input."""
+    rows, _ = estimate(db, "SELECT DISTINCT cat FROM facts")
+    assert rows == pytest.approx(4, abs=1)
+
+
+def test_distinct_estimate_capped_by_input_rows(db):
+    rows, _ = estimate(db, "SELECT DISTINCT id, cat FROM facts")
+    assert rows <= 1000
+
+
+def test_distinct_without_stats_keeps_conservative_fallback():
+    scan = algebra.Scan(
+        "ph",
+        "x",
+        Schema([Field("a", INTEGER)]),
+        placeholder=True,
+        requalify=False,
+    )
+    scan.estimated_rows = 500.0
+    distinct = algebra.Distinct(scan)
+
+    def provider(node):
+        from repro.engine.cost import ScanStats
+
+        return ScanStats(row_count=node.estimated_rows, columns={})
+
+    estimator = CardinalityEstimator(provider)
+    rows = estimator.estimate_rows(distinct)
+    assert rows == pytest.approx(450.0)
+
+
+def test_union_estimate_adds_inputs_and_keeps_column_stats(db):
+    plan = build_plan(
+        parse_statement(
+            "SELECT cat FROM facts UNION ALL SELECT label FROM dims"
+        ),
+        db.catalog,
+    )
+    plan = db.planner.optimize(plan)
+    estimator = db.planner.make_estimator()
+    est = estimator._estimate(plan)
+    assert est.rows == 1050
+    # Column statistics survive the union (the seed discarded them):
+    # the merged NDV reflects both sides.
+    assert est.columns, "union estimate lost all column statistics"
+    (stats,) = [
+        s for (_, name), s in est.columns.items() if name == "cat"
+    ]
+    assert 4 <= stats.ndv <= 1050

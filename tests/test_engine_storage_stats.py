@@ -93,3 +93,27 @@ def test_base_table_unqualifies_schema():
     qualified = SCHEMA.requalified("alias")
     table = BaseTable("t", qualified, [])
     assert all(f.relation is None for f in table.schema)
+
+
+def test_min_max_skipped_for_mixed_date_datetime():
+    """datetime subclasses date but the two are mutually non-comparable;
+    a mixed column must skip min/max instead of raising TypeError."""
+    schema = Schema([Field("x", DATE)])
+    rows = [
+        (datetime.date(2020, 1, 1),),
+        (datetime.datetime(2020, 1, 2, 3, 4, 5),),
+    ]
+    stats = compute_stats(schema, rows)  # must not raise
+    assert stats.column("x").min_value is None
+    assert stats.column("x").max_value is None
+    assert stats.column("x").ndv == 2
+
+
+def test_min_max_kept_for_homogeneous_datetime():
+    schema = Schema([Field("x", DATE)])
+    rows = [
+        (datetime.datetime(2020, 1, 2, 3, 4, 5),),
+        (datetime.datetime(2020, 1, 1, 0, 0, 0),),
+    ]
+    stats = compute_stats(schema, rows)
+    assert stats.column("x").min_value == datetime.datetime(2020, 1, 1)
