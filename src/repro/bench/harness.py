@@ -10,6 +10,7 @@ that context*, never from ledger index marks.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -17,11 +18,44 @@ from repro.baselines.garlic import GarlicSystem
 from repro.baselines.presto import PrestoSystem
 from repro.baselines.sclera import ScleraSystem
 from repro.core.client import XDB
+from repro.engine.profiles import load_calibrated
 from repro.engine.result import Result
 from repro.errors import ReproError
 from repro.federation.deployment import Deployment
 from repro.net.metrics import site_breakdown
 from repro.obs.context import QueryContext
+
+#: default calibrated engine-profile overlay, emitted by
+#: ``python -m repro.calibrate`` (repo-relative)
+_DEFAULT_CALIBRATED_PROFILES = os.path.join(
+    os.path.dirname(
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    ),
+    "benchmarks",
+    "results",
+    "calibrated_profiles.json",
+)
+
+
+def apply_calibrated_profiles(path: Optional[str] = None) -> bool:
+    """Install the calibrated engine-profile overlay, if one exists.
+
+    Resolution order: explicit ``path`` argument, the
+    ``XDB_CALIBRATED_PROFILES`` environment variable, then the
+    repository's ``benchmarks/results/calibrated_profiles.json``.
+    Returns True when an overlay was loaded.
+    """
+    candidate = (
+        path
+        or os.environ.get("XDB_CALIBRATED_PROFILES")
+        or _DEFAULT_CALIBRATED_PROFILES
+    )
+    if not os.path.exists(candidate):
+        return False
+    load_calibrated(candidate)
+    return True
 
 
 @dataclass
@@ -219,9 +253,25 @@ class SystemSet:
 
 
 def build_systems(
-    deployment: Deployment, presto_workers: int = 4
+    deployment: Deployment,
+    presto_workers: int = 4,
+    calibrated: Optional[bool] = None,
 ) -> SystemSet:
-    """Construct and warm all four systems over ``deployment``."""
+    """Construct and warm all four systems over ``deployment``.
+
+    Calibrated engine profiles are applied **by default** (ROADMAP
+    "calibrated-profiles-by-default"): the overlay emitted by
+    ``python -m repro.calibrate`` is picked up from
+    ``benchmarks/results/calibrated_profiles.json`` (or
+    ``$XDB_CALIBRATED_PROFILES``) so every benchmark costs with
+    measured constants.  Opt out with ``calibrated=False``, the
+    ``--uncalibrated`` flag of ``repro.bench.run``, or the
+    ``XDB_UNCALIBRATED`` environment variable.
+    """
+    if calibrated is None:
+        calibrated = not os.environ.get("XDB_UNCALIBRATED")
+    if calibrated:
+        apply_calibrated_profiles()
     xdb = XDB(deployment)
     garlic = GarlicSystem(deployment)
     presto = PrestoSystem(deployment, workers=presto_workers)

@@ -62,6 +62,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="use the Fig. 10 heterogeneous engine mix",
     )
     parser.add_argument("--presto-workers", type=int, default=4)
+    parser.add_argument(
+        "--uncalibrated",
+        action="store_true",
+        help="cost with the hand-set profile constants instead of the "
+        "calibrated overlay (benchmarks/results/calibrated_profiles.json)",
+    )
     return parser.parse_args(argv)
 
 
@@ -80,7 +86,11 @@ def run_grid(args: argparse.Namespace) -> List[List[object]]:
         topology=args.topology,
         profiles=HETEROGENEOUS_PROFILES if args.hetero else None,
     )
-    systems = build_systems(deployment, presto_workers=args.presto_workers)
+    systems = build_systems(
+        deployment,
+        presto_workers=args.presto_workers,
+        calibrated=not getattr(args, "uncalibrated", False),
+    )
 
     runners = {
         "xdb": lambda sql, name: run_xdb(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, TypeVar
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.engine.database import Database
 from repro.engine.fdw import PROTOCOL_FACTORS
@@ -435,6 +435,42 @@ class DBMSConnector:
         def call() -> Optional[TableStats]:
             self._control("metadata")
             return self.database.table_stats(name)
+
+        return self._guarded("metadata", call)
+
+    def table_schema(self, name: str) -> Optional[Schema]:
+        """The *live* schema of one stored table (None when dropped).
+
+        The global catalog's fingerprint verification calls this — one
+        guarded metadata round-trip per verified table — to compare
+        the engine's current truth against its recorded snapshot.
+        """
+
+        def call() -> Optional[Schema]:
+            self._control("metadata")
+            obj = self.database.catalog.get(name)
+            if obj is None or obj.kind != "TABLE" or obj.temporary:
+                return None
+            return obj.schema
+
+        return self._guarded("metadata", call)
+
+    def list_objects(self, prefixes=()) -> List[Tuple[str, str]]:
+        """(kind, name) of every catalog object matching ``prefixes``.
+
+        The orphan reaper's reconciliation primitive: what does this
+        engine actually hold right now?  Matching is case-insensitive;
+        empty ``prefixes`` lists everything.
+        """
+
+        def call() -> List[Tuple[str, str]]:
+            self._control("metadata")
+            lowered = tuple(p.lower() for p in prefixes)
+            return [
+                (obj.kind, obj.name)
+                for obj in self.database.catalog.objects()
+                if not lowered or obj.name.lower().startswith(lowered)
+            ]
 
         return self._guarded("metadata", call)
 

@@ -125,6 +125,7 @@ class PlanAnnotator:
         network: Network,
         movement_policy: str = "cost",
         prune_candidates: bool = True,
+        catalog=None,
     ):
         if movement_policy not in MOVEMENT_POLICIES:
             raise OptimizerError(
@@ -135,6 +136,11 @@ class PlanAnnotator:
         self._network = network
         self._movement_policy = movement_policy
         self._prune_candidates = prune_candidates
+        #: optional GlobalCatalog — when set, Rule 1 skips holders the
+        #: catalog quarantined after unreconcilable schema drift (cached
+        #: logical plans may carry replica sets that predate the
+        #: quarantine)
+        self._catalog = catalog
 
     def annotate(self, plan: algebra.LogicalPlan) -> Annotation:
         annotation = Annotation()
@@ -198,6 +204,22 @@ class PlanAnnotator:
                 f"scan of {scan.table!r} lacks a source DBMS "
                 "(Rule 1 needs the global catalog annotation)"
             )
+        if self._catalog is not None and not scan.placeholder:
+            admitted = [
+                db
+                for db in holders
+                if not self._catalog.is_quarantined(db, scan.table)
+            ]
+            if not admitted:
+                # Every holder drifted beyond reconciliation: like an
+                # all-holders outage, but no amount of waiting repairs
+                # it — only a catalog refresh re-admits the table.
+                raise EngineUnavailableError(
+                    f"every holder {holders} of table {scan.table!r} is "
+                    "quarantined after unreconcilable schema drift; "
+                    "refresh the catalog to re-admit one"
+                )
+            holders = admitted
         healthy = [db for db in holders if self._available(db)]
         if not healthy:
             raise EngineUnavailableError(

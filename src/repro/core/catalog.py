@@ -4,16 +4,30 @@ The catalog is populated through the DBMS connectors during the *prep*
 phase (metadata gathering counts toward the §VI-E breakdown) and serves
 as the table resolver for the cross-database plan builder: every scan it
 produces is tagged with the DBMS the relation lives on (Rule 1's input).
+
+Schema-drift resilience (PR 8): the catalog is **versioned** — a
+monotonic ``catalog_version`` bumps on every refresh, re-introspection,
+and quarantine change, and every (db, table) carries a schema
+**fingerprint** (column names/types hash + that table's stats epoch).
+Verification is lazy, once per table per catalog epoch: a refresh
+counts as verification for everything it read (so drift-free runs pay
+zero extra engine calls), and only tables whose cached verification
+predates the current version re-fetch the live schema through the
+connector.  A mismatch raises :class:`SchemaDriftError` with a
+field-level diff; tables the recovery path cannot reconcile are
+**quarantined** — their holders leave the placement candidate set like
+dead engines until the next full refresh.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.connect.connector import DBMSConnector
+from repro.drift.fingerprint import schema_diff, schema_fingerprint
 from repro.engine.cost import ScanStats
 from repro.engine.stats import TableStats
-from repro.errors import CatalogError
+from repro.errors import CatalogError, SchemaDriftError
 from repro.relational.algebra import Scan
 from repro.relational.builder import ResolvedTable, TableResolver
 from repro.relational.schema import Schema
@@ -33,30 +47,207 @@ class GlobalCatalog(TableResolver):
         #: (db, table_lower) -> original table name (case preserved)
         self._names: Dict[Tuple[str, str], str] = {}
         self._loaded = False
+        #: monotonic version: bumps on refresh, re-introspection, and
+        #: quarantine changes — the invalidation spine for prepared
+        #: plans and (future) plan caches
+        self.catalog_version = 0
+        #: (db, table_lower) -> schema fingerprint at registration
+        self._fingerprints: Dict[Tuple[str, str], str] = {}
+        #: (db, table_lower) -> stats epoch (bumped per re-registration)
+        self._stats_epochs: Dict[Tuple[str, str], int] = {}
+        #: (db, table_lower) -> catalog_version it was last verified at
+        self._verified: Dict[Tuple[str, str], int] = {}
+        #: (db, table_lower) quarantined after unreconcilable drift
+        self._quarantined: Set[Tuple[str, str]] = set()
 
     # -- prep phase ------------------------------------------------------------
 
     def refresh(self, with_stats: bool = True) -> None:
-        """Gather metadata from every DBMS through its connector."""
+        """Gather metadata from every DBMS through its connector.
+
+        A refresh *is* a verification of everything it reads: each
+        registered table's fingerprint is recomputed and marked
+        verified at the new catalog version, and quarantines are
+        lifted (the refresh re-read the authoritative truth).
+        """
         self._schemas.clear()
         self._locations.clear()
         self._stats.clear()
         self._names.clear()
+        self._verified.clear()
+        self._quarantined.clear()
+        self.catalog_version += 1
         for db_name, connector in self._connectors.items():
             for table_name, schema in connector.list_tables().items():
                 key = table_name.lower()
-                self._schemas[(db_name, key)] = schema
-                self._locations.setdefault(key, []).append(db_name)
-                self._names[(db_name, key)] = table_name
+                self._register(db_name, key, table_name, schema)
                 if with_stats:
                     self._stats[(db_name, key)] = connector.table_stats(
                         table_name
                     )
         self._loaded = True
 
+    def _register(
+        self, db: str, key: str, table_name: str, schema: Schema
+    ) -> None:
+        """Record one (db, table) registration: schema, name, location,
+        fingerprint at the next stats epoch, verified at this version."""
+        self._schemas[(db, key)] = schema
+        if db not in self._locations.setdefault(key, []):
+            self._locations[key].append(db)
+        self._names[(db, key)] = table_name
+        epoch = self._stats_epochs.get((db, key), 0) + 1
+        self._stats_epochs[(db, key)] = epoch
+        self._fingerprints[(db, key)] = schema_fingerprint(schema, epoch)
+        self._verified[(db, key)] = self.catalog_version
+
     def _ensure_loaded(self) -> None:
         if not self._loaded:
             self.refresh()
+
+    # -- fingerprints + verification --------------------------------------------
+
+    def fingerprint_of(self, db: str, table: str) -> Optional[str]:
+        self._ensure_loaded()
+        return self._fingerprints.get((db, table.lower()))
+
+    def stats_epoch_of(self, db: str, table: str) -> int:
+        return self._stats_epochs.get((db, table.lower()), 0)
+
+    def verify_table(self, db: str, table: str, force: bool = False) -> None:
+        """Check the live schema of ``db.table`` against its fingerprint.
+
+        Lazy: a table already verified at the current
+        ``catalog_version`` is a cache hit (no engine call) unless
+        ``force`` is set.  On mismatch raises :class:`SchemaDriftError`
+        carrying the field-level diff; a quarantined table raises
+        immediately without touching the engine.
+        """
+        self._ensure_loaded()
+        key = (db, table.lower())
+        if key in self._quarantined:
+            raise SchemaDriftError(
+                f"table {db}.{table} is quarantined after unreconcilable "
+                "schema drift (refresh the catalog to re-admit it)",
+                db=db,
+                table=self._names.get(key, table),
+                quarantined=True,
+            )
+        expected = self._schemas.get(key)
+        if expected is None:
+            return  # not a catalog table (placeholder/delegated object)
+        if not force and self._verified.get(key) == self.catalog_version:
+            return
+        name = self._names.get(key, table)
+        connector = self._connectors[db]
+        live = connector.table_schema(name)
+        epoch = self._stats_epochs.get(key, 0)
+        expected_fp = self._fingerprints.get(key, "")
+        actual_fp = (
+            schema_fingerprint(live, epoch) if live is not None else ""
+        )
+        if live is not None and actual_fp == expected_fp:
+            self._verified[key] = self.catalog_version
+            return
+        added, removed, retyped, dropped = schema_diff(expected, live)
+        raise SchemaDriftError(
+            f"schema drift on {db}.{name}: "
+            + (
+                "table dropped on the engine"
+                if dropped
+                else f"live schema diverged ({expected_fp} -> {actual_fp})"
+            ),
+            db=db,
+            table=name,
+            added=added,
+            removed=removed,
+            retyped=retyped,
+            dropped=dropped,
+            expected_fingerprint=expected_fp,
+            actual_fingerprint=actual_fp,
+        )
+
+    def unverified(
+        self, placement: Mapping[str, str]
+    ) -> List[Tuple[str, str]]:
+        """(db, table) pairs of ``placement`` needing verification now.
+
+        Placement maps table → db (the client's plan placement view);
+        only tables this catalog registered — and whose verification
+        predates the current version or that are quarantined — are
+        returned, so the common case is an empty list and zero calls.
+        """
+        self._ensure_loaded()
+        out: List[Tuple[str, str]] = []
+        for table, db in sorted(placement.items()):
+            key = (db, table.lower())
+            if key not in self._schemas and key not in self._quarantined:
+                continue
+            if (
+                key in self._quarantined
+                or self._verified.get(key) != self.catalog_version
+            ):
+                out.append((db, table))
+        return out
+
+    # -- drift recovery ----------------------------------------------------------
+
+    def reintrospect(self, db: str, table: str) -> Optional[Schema]:
+        """Re-fetch one table's live schema + stats and adopt them.
+
+        The drift-recovery primitive: bumps the catalog version,
+        clears the table's quarantine (the fresh truth supersedes it),
+        and returns the adopted schema — or None when the engine no
+        longer holds the table, in which case the registration is
+        removed entirely.
+        """
+        self._ensure_loaded()
+        key = table.lower()
+        name = self._names.get((db, key), table)
+        connector = self._connectors[db]
+        live = connector.table_schema(name)
+        self.catalog_version += 1
+        self._quarantined.discard((db, key))
+        if live is None:
+            self._forget(db, key)
+            return None
+        self._register(db, key, name, live)
+        self._stats[(db, key)] = connector.table_stats(name)
+        return live
+
+    def _forget(self, db: str, key: str) -> None:
+        self._schemas.pop((db, key), None)
+        self._stats.pop((db, key), None)
+        self._names.pop((db, key), None)
+        self._fingerprints.pop((db, key), None)
+        self._verified.pop((db, key), None)
+        holders = self._locations.get(key)
+        if holders and db in holders:
+            holders.remove(db)
+            if not holders:
+                del self._locations[key]
+
+    # -- quarantine ---------------------------------------------------------------
+
+    def quarantine(self, db: str, table: str) -> None:
+        """Exclude ``db``'s copy of ``table`` from placement until the
+        next refresh (Rule 4 treats it like a dead holder)."""
+        self._ensure_loaded()
+        self._quarantined.add((db, table.lower()))
+        self.catalog_version += 1
+
+    def is_quarantined(self, db: str, table: str) -> bool:
+        return (db, table.lower()) in self._quarantined
+
+    def quarantined_tables(self) -> List[Tuple[str, str]]:
+        return sorted(self._quarantined)
+
+    def _live_holders(self, key: str) -> List[str]:
+        return [
+            db
+            for db in self._locations.get(key, [])
+            if (db, key) not in self._quarantined
+        ]
 
     # -- lookup -------------------------------------------------------------------
 
@@ -71,12 +262,14 @@ class GlobalCatalog(TableResolver):
         Multiple holders count as replicas only when every copy has an
         identical schema; same-named tables with *different* schemas
         remain ambiguous (the user must qualify them as ``db.table``).
+        Quarantined holders do not count — a drifted replica is out of
+        the replica set until re-admitted.
         """
         self._ensure_loaded()
         return self._replicated(table.lower())
 
     def _replicated(self, key: str) -> bool:
-        locations = self._locations.get(key, [])
+        locations = self._live_holders(key)
         if len(locations) < 2:
             return False
         first = self._schemas[(locations[0], key)]
@@ -87,14 +280,21 @@ class GlobalCatalog(TableResolver):
     def locate(self, table: str) -> str:
         """The primary DBMS hosting an unqualified table name.
 
-        For a replicated table this is the first registered holder (the
-        annotator may still place the scan on any healthy replica);
-        same-named tables with diverging schemas stay ambiguous.
+        For a replicated table this is the first registered live
+        holder (the annotator may still place the scan on any healthy
+        replica); same-named tables with diverging schemas stay
+        ambiguous; a table whose every holder is quarantined is
+        unanswerable until a refresh re-admits one.
         """
         self._ensure_loaded()
         key = table.lower()
-        locations = self._locations.get(key)
+        locations = self._live_holders(key)
         if not locations:
+            if self._locations.get(key):
+                raise CatalogError(
+                    f"every holder of table {table!r} is quarantined "
+                    "after schema drift; refresh the catalog to re-admit"
+                )
             raise CatalogError(f"unknown table {table!r} in the federation")
         if len(locations) > 1 and not self._replicated(key):
             raise CatalogError(
@@ -133,7 +333,7 @@ class GlobalCatalog(TableResolver):
             table = parts[0]
             db = self.locate(table)
             if self._replicated(table.lower()):
-                replicas = tuple(self._locations[table.lower()])
+                replicas = tuple(self._live_holders(table.lower()))
         else:
             raise CatalogError(f"invalid table name {'.'.join(parts)!r}")
         return ResolvedTable(

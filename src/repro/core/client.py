@@ -19,6 +19,7 @@ submissions cannot leak observations into each other.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
@@ -33,8 +34,12 @@ from repro.core.timing import (
     attribute_edge_stats,
     simulate_schedule,
 )
+from repro.drift.ledger import ObjectLedger
+from repro.drift.reaper import OrphanReaper, ReapReport
 from repro.engine.result import Result
 from repro.errors import (
+    BindError,
+    CatalogError,
     CircuitOpenError,
     DeadlineExceeded,
     DelegationError,
@@ -42,6 +47,8 @@ from repro.errors import (
     OptimizerError,
     OverloadError,
     ReproError,
+    SchemaDriftError,
+    TypeCheckError,
 )
 from repro.federation.deployment import Deployment
 from repro.health import BreakerEvent
@@ -80,10 +87,20 @@ class RecoveryReport:
     placement_before: Dict[str, str] = field(default_factory=dict)
     #: scan placement of the plan that actually produced the result
     placement: Dict[str, str] = field(default_factory=dict)
+    #: schema drifts absorbed (re-introspect + replan) this submission
+    drift_events: int = 0
+    #: (db, table) pairs whose drift was absorbed, in detection order
+    drifted_tables: List[Tuple[str, str]] = field(default_factory=list)
+    #: (db, table) pairs quarantined as unreconcilable this submission
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def repaired(self) -> bool:
         return self.repair_attempts > 0
+
+    @property
+    def drifted(self) -> bool:
+        return self.drift_events > 0
 
     def placement_diff(self) -> Dict[str, Tuple[str, str]]:
         """Tables whose scan moved: table → (old DBMS, new DBMS)."""
@@ -95,18 +112,35 @@ class RecoveryReport:
         return diff
 
     def describe(self) -> str:
-        if not self.repaired:
+        if not self.repaired and not self.drifted:
             return "no repair needed"
-        moved = ", ".join(
-            f"{table}: {old}→{new}"
-            for table, (old, new) in sorted(self.placement_diff().items())
-        )
-        return (
-            f"{self.repair_attempts} repair(s) around "
-            f"{sorted(set(self.repaired_dbs))} in "
-            f"{self.repair_seconds:.3f}s"
-            + (f"; moved {moved}" if moved else "")
-        )
+        parts = []
+        if self.repaired:
+            moved = ", ".join(
+                f"{table}: {old}→{new}"
+                for table, (old, new) in sorted(
+                    self.placement_diff().items()
+                )
+            )
+            parts.append(
+                f"{self.repair_attempts} repair(s) around "
+                f"{sorted(set(self.repaired_dbs))} in "
+                f"{self.repair_seconds:.3f}s"
+                + (f"; moved {moved}" if moved else "")
+            )
+        if self.drifted:
+            drifted = ", ".join(
+                f"{db}.{table}" for db, table in self.drifted_tables
+            )
+            line = f"{self.drift_events} drift(s) absorbed on {drifted}"
+            if not self.repaired:
+                line += f" in {self.repair_seconds:.3f}s"
+            if self.quarantined:
+                line += "; quarantined " + ", ".join(
+                    f"{db}.{table}" for db, table in self.quarantined
+                )
+            parts.append(line)
+        return "; ".join(parts)
 
 
 @dataclass
@@ -203,6 +237,7 @@ class XDB:
         plan_shape: str = "left-deep",
         repair_budget: int = 2,
         ddl_namespace: str = "",
+        ledger_path: Optional[str] = None,
     ):
         """Create the middleware over ``deployment``.
 
@@ -217,7 +252,9 @@ class XDB:
         ``ddl_namespace`` prefixes every short-lived DDL object this
         client creates — concurrent XDB instances sharing one
         federation give themselves distinct namespaces so their
-        ``xf_/xm_/xv_`` objects cannot collide.
+        ``xf_/xm_/xv_`` objects cannot collide.  ``ledger_path``
+        persists the delegated-object ledger as JSON, so a restarted
+        client can still reap what a crashed one leaked.
         """
         self.deployment = deployment
         self.repair_budget = repair_budget
@@ -229,11 +266,27 @@ class XDB:
             deployment.network,
             movement_policy=movement_policy,
             prune_candidates=prune_candidates,
+            catalog=self.catalog,
         )
         self.finalizer = PlanFinalizer()
+        #: durable record of every delegated DDL object (drift PR);
+        #: feeds the cumulative leak accounting and the orphan reaper
+        self.ledger = ObjectLedger(namespace=ddl_namespace, path=ledger_path)
         self.delegator = DelegationEngine(
-            self.connectors, namespace=ddl_namespace
+            self.connectors, namespace=ddl_namespace, ledger=self.ledger
         )
+        #: epoch-fenced reaper: reconciles engine-held ``xf_/xm_/xv_``
+        #: objects against the ledger, dropping only retired epochs
+        self.reaper = OrphanReaper(
+            self.ledger, self.connectors, health=deployment.health
+        )
+        # Engine recovery (breaker half-open → closed) marks the engine
+        # pending; the *next* submission sweeps it — sweeping inside the
+        # guarded call path would recurse into the connectors.
+        deployment.health.add_recovery_listener(self.reaper.note_recovery)
+        #: live PreparedQuery handles, so drift recovery can invalidate
+        #: prepared plans that scan a re-introspected table
+        self._prepared: "weakref.WeakSet[PreparedQuery]" = weakref.WeakSet()
         self._metadata_fresh = False
 
     # -- public API --------------------------------------------------------------
@@ -266,6 +319,13 @@ class XDB:
         the in-flight DDL back under the deadline's grace budget before
         raising a structured :class:`~repro.errors.DeadlineExceeded`.
         """
+        # Engines that recovered since the last submission get their
+        # deferred orphan sweep now, outside the query's context (and
+        # never allowed to fail the query itself).
+        try:
+            self.reaper.sweep_pending()
+        except ReproError:
+            pass
         network = self.deployment.network
         health = self.deployment.health
         gate = self.deployment.workload_gate
@@ -342,6 +402,19 @@ class XDB:
                                     dplan = self.finalizer.finalize(
                                         logical_plan, annotation
                                     )
+                            # Lazy drift verification: once per table
+                            # per catalog epoch.  A refresh pre-marks
+                            # everything it read, so the common case is
+                            # an empty list — no span, no engine calls.
+                            pending = self.catalog.unverified(
+                                self._placement(dplan)
+                            )
+                            if pending:
+                                with tracer.span("verify", kind="step"):
+                                    for vdb, vtable in pending:
+                                        self.catalog.verify_table(
+                                            vdb, vtable
+                                        )
                             engines = sorted(
                                 {
                                     task.annotation
@@ -384,10 +457,51 @@ class XDB:
                                     "execute", detail="post-execution"
                                 )
                             break
+                        except SchemaDriftError as drift:
+                            if budget <= 0:
+                                raise
+                            budget -= 1
+                            if repair_start is None:
+                                repair_start = (wall_now(), tracer.sim_now)
+                            if deployed is not None:
+                                try:
+                                    deployed.cleanup()
+                                except ReproError:
+                                    pass
+                            logical_plan = self._recover_drift(
+                                select, drift, recovery, tracer
+                            )
+                            dplan = None
                         except (
                             EngineUnavailableError,
                             DelegationError,
                         ) as exc:
+                            # A delegation failure whose cause chain is
+                            # schema-shaped (bind/type/catalog) may be a
+                            # drifted remote table rather than an
+                            # outage: force-verify the placed tables
+                            # and, if one drifted, take the drift
+                            # recovery path instead of plan repair.
+                            drift = self._sniff_drift(exc, dplan)
+                            if drift is not None:
+                                if budget <= 0:
+                                    raise drift from exc
+                                budget -= 1
+                                if repair_start is None:
+                                    repair_start = (
+                                        wall_now(),
+                                        tracer.sim_now,
+                                    )
+                                if deployed is not None:
+                                    try:
+                                        deployed.cleanup()
+                                    except ReproError:
+                                        pass
+                                logical_plan = self._recover_drift(
+                                    select, drift, recovery, tracer
+                                )
+                                dplan = None
+                                continue
                             db = self._unavailable_db(exc)
                             if db is None or budget <= 0:
                                 raise
@@ -407,6 +521,31 @@ class XDB:
                                     deployed.cleanup()
                                 except ReproError:
                                     pass
+                            dplan = None
+                        except (
+                            BindError,
+                            TypeCheckError,
+                            CatalogError,
+                        ) as exc:
+                            # The root XDB query can hit the drifted
+                            # table directly (no DDL cascade to wrap
+                            # the failure in a DelegationError): a raw
+                            # bind/type/catalog error here gets the
+                            # same sniff before propagating.
+                            drift = self._sniff_drift(exc, dplan)
+                            if drift is None or budget <= 0:
+                                raise
+                            budget -= 1
+                            if repair_start is None:
+                                repair_start = (wall_now(), tracer.sim_now)
+                            if deployed is not None:
+                                try:
+                                    deployed.cleanup()
+                                except ReproError:
+                                    pass
+                            logical_plan = self._recover_drift(
+                                select, drift, recovery, tracer
+                            )
                             dplan = None
                     if repair_start is not None:
                         repair_wall, repair_sim = repair_start
@@ -476,6 +615,8 @@ class XDB:
                     ),
                 )
 
+            resilience = ctx.resilience_summary(self.connectors)
+            resilience.leaked_objects = self.ledger.leaked_count()
             report = XDBReport(
                 result=result,
                 plan=dplan,
@@ -490,12 +631,115 @@ class XDB:
                 },
                 transfers=transfers,
                 consultations=annotation.consultations,
-                resilience=ctx.resilience_summary(self.connectors),
+                resilience=resilience,
                 recovery=recovery,
                 context=ctx,
                 qos=qos_report,
             )
         return report
+
+    def reap(self, dbs: Optional[List[str]] = None) -> ReapReport:
+        """Reconcile engine-held delegated objects against the ledger.
+
+        Sweeps every reachable engine (or just ``dbs``), dropping
+        ``xf_/xm_/xv_`` objects from *retired* epochs — a live
+        deployment's objects are fenced and never touched.  Engines
+        that are down are skipped and re-swept automatically after
+        their breaker closes (see the recovery listener).
+        """
+        return self.reaper.sweep(dbs)
+
+    # -- drift recovery -------------------------------------------------------------
+
+    def _recover_drift(
+        self,
+        select: ast.Statement,
+        drift: SchemaDriftError,
+        recovery: RecoveryReport,
+        tracer,
+    ):
+        """Absorb one detected drift: re-introspect, invalidate, replan.
+
+        Returns the fresh logical plan.  When replanning still fails —
+        e.g. a drifted replica now diverges from its siblings, or the
+        table vanished and only this holder had it — the table is
+        quarantined (placement avoids it like a dead holder) and the
+        replan is retried once; a second failure propagates.
+        """
+        recovery.drift_events += 1
+        key = (drift.db, drift.table)
+        if key not in recovery.drifted_tables:
+            recovery.drifted_tables.append(key)
+        tracer.add_event(
+            "schema-drift",
+            db=drift.db,
+            table=drift.table,
+            diff=drift.diff_summary(),
+        )
+        with tracer.span("reintrospect", kind="step"):
+            adopted = self.catalog.reintrospect(drift.db, drift.table)
+        self._invalidate_prepared(drift.db, drift.table)
+        try:
+            with tracer.span("optimize", kind="step"):
+                return self.optimizer.optimize(select)
+        except ReproError:
+            if adopted is not None:
+                self.catalog.quarantine(drift.db, drift.table)
+            recovery.quarantined.append(key)
+            tracer.add_event(
+                "quarantine", db=drift.db, table=drift.table
+            )
+            try:
+                with tracer.span("optimize", kind="step"):
+                    return self.optimizer.optimize(select)
+            except ReproError as replan_exc:
+                # Even with the drifted holder out of the way the
+                # query cannot bind (the table vanished everywhere,
+                # or it referenced a now-renamed column): surface
+                # the structured drift error, not the planner's.
+                drift.quarantined = True
+                raise drift from replan_exc
+
+    def _sniff_drift(
+        self, exc: BaseException, dplan: Optional[DelegationPlan]
+    ) -> Optional[SchemaDriftError]:
+        """Check whether a schema-shaped failure traces back to drift.
+
+        Only failures whose cause chain contains a bind/type/catalog
+        error are sniffed — transient giveups and outages never touch
+        the fingerprint path, so their fault schedules are unchanged.
+        The sniff force-verifies each placed table and returns the
+        first drift found (None when the schemas all still match).
+        """
+        if dplan is None or not self._schema_shaped(exc):
+            return None
+        for table, db in sorted(self._placement(dplan).items()):
+            try:
+                self.catalog.verify_table(db, table, force=True)
+            except SchemaDriftError as drift:
+                return drift
+            except ReproError:
+                continue
+        return None
+
+    @staticmethod
+    def _schema_shaped(exc: BaseException) -> bool:
+        """Whether a failure's cause chain smells like schema drift."""
+        seen = set()
+        node: Optional[BaseException] = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(
+                node, (BindError, TypeCheckError, CatalogError)
+            ):
+                return True
+            node = node.__cause__ or node.__context__
+        return False
+
+    def _invalidate_prepared(self, db: str, table: str) -> None:
+        """Mark prepared queries scanning ``db.table`` as stale."""
+        for prepared in list(self._prepared):
+            prepared._note_drift(db, table)
 
     @staticmethod
     def _cancel_deployment(
@@ -596,7 +840,9 @@ class XDB:
         annotation = self.annotator.annotate(logical_plan)
         dplan = self.finalizer.finalize(logical_plan, annotation)
         deployed = self.delegator.delegate(dplan)
-        return PreparedQuery(self, deployed)
+        prepared = PreparedQuery(self, deployed, select=select)
+        self._prepared.add(prepared)
+        return prepared
 
     def invalidate_metadata(self) -> None:
         self._metadata_fresh = False
@@ -669,11 +915,26 @@ class PreparedQuery:
     counters cannot leak from one run into the next.
     """
 
-    def __init__(self, xdb: XDB, deployed: DeployedQuery):
+    def __init__(
+        self,
+        xdb: XDB,
+        deployed: DeployedQuery,
+        select: Optional[ast.Statement] = None,
+    ):
         self._xdb = xdb
         self.deployed = deployed
+        #: the source query AST, kept so schema drift can trigger a
+        #: full replan (re-optimize + re-delegate) of this handle
+        self._select = select
         self.executions = 0
         self._closed = False
+        #: set when the catalog learned a table this plan scans has
+        #: drifted — the next execute replans (or serves a bounded
+        #: stale read) instead of running the stale cascade
+        self._stale_plan = False
+        #: executions counted at the current deployment's creation —
+        #: the first run after (re)delegation uses the CTAS snapshots
+        self._deploy_execution = 0
         #: simulated time the materialization snapshots were last built
         #: (the CTAS of delegation counts as the first refresh)
         self._refreshed_at = xdb.deployment.health.clock.now()
@@ -681,6 +942,21 @@ class PreparedQuery:
     @property
     def plan(self) -> DelegationPlan:
         return self.deployed.plan
+
+    @property
+    def stale_plan(self) -> bool:
+        """Whether the deployed cascade predates a known schema drift."""
+        return self._stale_plan
+
+    def invalidate(self) -> None:
+        """Force the next :meth:`execute` to replan before running."""
+        self._stale_plan = True
+
+    def _note_drift(self, db: str, table: str) -> None:
+        """Client callback: ``db.table`` drifted — stale if we scan it."""
+        placement = XDB._placement(self.deployed.plan)
+        if table.lower() in {name.lower() for name in placement}:
+            self._stale_plan = True
 
     def staleness_seconds(self) -> float:
         """Age of the materialization snapshots (simulated seconds)."""
@@ -715,26 +991,123 @@ class PreparedQuery:
         engine set or a snapshot host's breaker is open, provided the
         snapshots are younger than the bound.  The served staleness is
         recorded in ``report.qos``.
+
+        Schema drift: when the catalog learns a scanned table drifted
+        (or this execution trips over the drift itself), the handle
+        re-introspects the table and — within the client's
+        ``repair_budget`` — either serves a staleness-bounded read
+        from the existing snapshots (``report.qos.stale_reason ==
+        "drift"``) or replans end to end: re-optimize, re-delegate,
+        swap the deployed cascade, and retry.
         """
         if self._closed:
             raise OptimizerError("prepared query is closed")
+        budget = self._xdb.repair_budget
+        recovery = RecoveryReport()
+        while True:
+            if self._stale_plan:
+                if self._degradable(qos) and self.deployed.materializations:
+                    # The snapshots predate the drift and are inside
+                    # the caller's staleness bound: serve them rather
+                    # than paying for a replan.
+                    try:
+                        report = self._execute_once(qos, prefer_stale=True)
+                        if recovery.drifted:
+                            report.recovery = recovery
+                        return report
+                    except (DeadlineExceeded, OverloadError):
+                        raise
+                    except ReproError:
+                        # The stale cascade cannot answer it either
+                        # (the drifted table feeds a view): replan.
+                        pass
+                self._replan()
+            try:
+                report = self._execute_once(qos, prefer_stale=False)
+            except SchemaDriftError as drift:
+                if budget <= 0:
+                    raise
+                budget -= 1
+                self._absorb_drift(drift, recovery)
+                continue
+            except ReproError as exc:
+                drift = self._xdb._sniff_drift(exc, self.deployed.plan)
+                if drift is None or budget <= 0:
+                    raise
+                budget -= 1
+                self._absorb_drift(drift, recovery)
+                continue
+            if recovery.drifted:
+                report.recovery = recovery
+            return report
+
+    def _absorb_drift(
+        self, drift: SchemaDriftError, recovery: RecoveryReport
+    ) -> None:
+        """Adopt the drifted table's live schema; mark the plan stale."""
+        recovery.drift_events += 1
+        key = (drift.db, drift.table)
+        if key not in recovery.drifted_tables:
+            recovery.drifted_tables.append(key)
+        self._xdb.catalog.reintrospect(drift.db, drift.table)
+        self._stale_plan = True
+
+    def _replan(self) -> None:
+        """Re-optimize and re-delegate against the refreshed catalog.
+
+        Swaps in the fresh cascade before tearing down the old one, so
+        a failing replan leaves the previous deployment intact (still
+        executable for staleness-bounded reads).
+        """
+        xdb = self._xdb
+        if self._select is None:
+            raise OptimizerError(
+                "prepared query is stale after schema drift and kept no "
+                "source query to replan from"
+            )
+        logical_plan = xdb.optimizer.optimize(self._select)
+        annotation = xdb.annotator.annotate(logical_plan)
+        dplan = xdb.finalizer.finalize(logical_plan, annotation)
+        fresh = xdb.delegator.delegate(dplan)
+        old = self.deployed
+        self.deployed = fresh
+        self._stale_plan = False
+        self._deploy_execution = self.executions
+        self._refreshed_at = xdb.deployment.health.clock.now()
+        try:
+            old.cleanup()
+        except ReproError:
+            # Leaked objects are in the ledger; the reaper collects
+            # them once their engine is reachable again.
+            pass
+
+    def _execute_once(
+        self, qos: Optional[QoSPolicy], prefer_stale: bool = False
+    ) -> XDBReport:
+        """One execution attempt of the currently deployed cascade."""
         network = self._xdb.deployment.network
         health = self._xdb.deployment.health
         gate = self._xdb.deployment.workload_gate
         priority = qos.priority if qos is not None else PRIORITY_NORMAL
         ctx = QueryContext(label="prepared", qos=qos)
-        stale_read = False
+        stale_read = prefer_stale
+        stale_reason = "drift" if prefer_stale else ""
         with ctx:
             tracer = ctx.tracer
             lease = None
             try:
                 with tracer.span("exec", kind="phase") as exec_span:
-                    engines = sorted(
-                        {
-                            task.annotation
-                            for task in self.deployed.plan.tasks.values()
-                        }
-                    )
+                    if stale_read:
+                        # Drift-degraded read: the snapshots already
+                        # hold the answer, admit the root engine only.
+                        engines = [self.deployed.root_db]
+                    else:
+                        engines = sorted(
+                            {
+                                task.annotation
+                                for task in self.deployed.plan.tasks.values()
+                            }
+                        )
                     ctx.enter_phase("admission")
                     try:
                         with tracer.span("admit", kind="step"):
@@ -745,12 +1118,13 @@ class PreparedQuery:
                             )
                             ctx.record_admission(lease)
                     except OverloadError:
-                        if not self._degradable(qos):
+                        if stale_read or not self._degradable(qos):
                             raise
                         # Saturated engine set, acceptable staleness:
                         # serve from the snapshots, admitting against
                         # the root engine only.
                         stale_read = True
+                        stale_reason = "overload"
                         with tracer.span("admit", kind="step"):
                             lease = gate.acquire(
                                 [self.deployed.root_db],
@@ -758,13 +1132,17 @@ class PreparedQuery:
                                 deadline=ctx.deadline,
                             )
                             ctx.record_admission(lease)
-                    refresh = self.executions > 0 and not stale_read
+                    refresh = (
+                        self.executions > self._deploy_execution
+                        and not stale_read
+                    )
                     if (
                         refresh
                         and self._snapshot_hosts_blocked()
                         and self._degradable(qos)
                     ):
                         stale_read = True
+                        stale_reason = "breaker-open"
                         refresh = False
                     if refresh:
                         # First execution already materialized during
@@ -778,6 +1156,7 @@ class PreparedQuery:
                             if not self._degradable(qos):
                                 raise
                             stale_read = True
+                            stale_reason = "breaker-open"
                     if stale_read:
                         tracer.add_event(
                             "stale-read",
@@ -831,8 +1210,11 @@ class PreparedQuery:
                     staleness_seconds=(
                         self.staleness_seconds() if stale_read else None
                     ),
+                    stale_reason=stale_reason if stale_read else "",
                 )
 
+            resilience = ctx.resilience_summary(self._xdb.connectors)
+            resilience.leaked_objects = self._xdb.ledger.leaked_count()
             report = XDBReport(
                 result=result,
                 plan=self.deployed.plan,
@@ -852,7 +1234,7 @@ class PreparedQuery:
                     ),
                 },
                 transfers=ctx.transfer_summary(exec_span),
-                resilience=ctx.resilience_summary(self._xdb.connectors),
+                resilience=resilience,
                 context=ctx,
                 qos=qos_report,
             )

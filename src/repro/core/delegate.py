@@ -35,6 +35,7 @@ from repro.errors import DeadlineExceeded, EngineUnavailableError, ReproError
 
 from repro.connect.connector import DBMSConnector
 from repro.core.plan import DelegationPlan, Movement, Task, TaskEdge
+from repro.drift.ledger import ObjectLedger
 from repro.errors import DelegationError
 from repro.obs.runtime import current_context
 from repro.relational.decompile import plan_to_select
@@ -60,6 +61,11 @@ class DeployedQuery:
     materializations: List[Tuple[str, str, ast.CreateTableAs]] = field(
         default_factory=list
     )
+    #: the client's delegated-object ledger and this deployment's epoch
+    #: in it — cleanup retires the epoch so the reaper may collect
+    #: whatever a failed drop leaves behind
+    ledger: Optional[ObjectLedger] = None
+    epoch: int = 0
     _connectors: Mapping[str, DBMSConnector] = field(
         repr=False, default_factory=dict
     )
@@ -78,8 +84,12 @@ class DeployedQuery:
 
         Best-effort and idempotent: objects whose DROP fails stay
         queued so a later call can retry; a second call over an empty
-        ledger is a no-op.
+        ledger is a no-op.  Initiating cleanup retires this
+        deployment's ledger epoch — from here on the reaper may
+        collect whatever a failed drop leaves behind.
         """
+        if self.ledger is not None and self.epoch:
+            self.ledger.close_epoch(self.epoch)
         remaining: List[Tuple[str, str, str]] = []
         errors: List[str] = []
         for db, kind, name in reversed(self.created_objects):
@@ -87,9 +97,13 @@ class DeployedQuery:
                 self._connector(db).execute_ddl(
                     ast.DropObject(kind=kind, name=name, if_exists=True)
                 )
+                if self.ledger is not None:
+                    self.ledger.mark_dropped(db, name)
             except ReproError as exc:
                 remaining.append((db, kind, name))
                 errors.append(f"{kind} {name!r} on {db!r}: {exc}")
+                if self.ledger is not None:
+                    self.ledger.mark_leaked(db, name)
         self.created_objects[:] = list(reversed(remaining))
         if errors:
             raise DelegationError(
@@ -120,18 +134,26 @@ class DelegationEngine:
         self,
         connectors: Mapping[str, DBMSConnector],
         namespace: str = "",
+        ledger: Optional[ObjectLedger] = None,
     ):
         self._connectors = dict(connectors)
         #: prefix folded into every created object name — concurrent
         #: clients of one federation use distinct namespaces so their
         #: short-lived ``xf_/xm_/xv_`` objects cannot collide
         self._namespace = namespace
-        self._query_counter = 0
+        #: durable record of every object ever created (drift PR);
+        #: a restarted client resumes its counter above the ledger's
+        #: highest epoch so new names cannot collide with leaked ones
+        self._ledger = ledger
+        self._query_counter = ledger.max_epoch() if ledger else 0
 
     def delegate(self, dplan: DelegationPlan) -> DeployedQuery:
         """Deploy ``dplan``; returns the XDB query for the client."""
         self._query_counter += 1
-        query_id = f"{self._namespace}{self._query_counter}"
+        epoch = self._query_counter
+        query_id = f"{self._namespace}{epoch}"
+        if self._ledger is not None:
+            self._ledger.open_epoch(epoch)
         created: List[Tuple[str, str, str]] = []
         ddl_log: List[Tuple[str, str]] = []
         edge_views: Dict[int, str] = {}
@@ -142,6 +164,7 @@ class DelegationEngine:
                 dplan,
                 dplan.root,
                 query_id,
+                epoch,
                 created,
                 ddl_log,
                 edge_views,
@@ -163,6 +186,7 @@ class DelegationEngine:
                 rolled_back, leaked = self._rollback(created)
             exc.rolled_back = rolled_back
             exc.leaked = leaked
+            self._settle_epoch(epoch, rolled_back, leaked)
             self._note(
                 "deadline-cancelled",
                 phase=exc.phase,
@@ -178,6 +202,7 @@ class DelegationEngine:
                 exc.db if isinstance(exc, EngineUnavailableError) else None
             )
             rolled_back, leaked = self._rollback(created, skip_db=dead_db)
+            self._settle_epoch(epoch, rolled_back, leaked)
             failed_db = ddl_log[-1][0] if ddl_log else None
             message = (
                 f"delegation failed after {len(ddl_log)} DDL "
@@ -206,8 +231,26 @@ class DelegationEngine:
             ddl_log=ddl_log,
             edge_views=edge_views,
             materializations=materializations,
+            ledger=self._ledger,
+            epoch=epoch,
             _connectors=self._connectors,
         )
+
+    def _settle_epoch(
+        self,
+        epoch: int,
+        rolled_back: List[Tuple[str, str, str]],
+        leaked: List[Tuple[str, str, str]],
+    ) -> None:
+        """Account a rolled-back cascade in the ledger and retire its
+        epoch — whatever the rollback could not drop is now reapable."""
+        if self._ledger is None:
+            return
+        for db, _kind, name in rolled_back:
+            self._ledger.mark_dropped(db, name)
+        for db, _kind, name in leaked:
+            self._ledger.mark_leaked(db, name)
+        self._ledger.close_epoch(epoch)
 
     def _rollback(
         self,
@@ -255,6 +298,7 @@ class DelegationEngine:
         dplan: DelegationPlan,
         task: Task,
         query_id: str,
+        epoch: int,
         created: List[Tuple[str, str, str]],
         ddl_log: List[Tuple[str, str]],
         edge_views: Dict[int, str],
@@ -272,6 +316,7 @@ class DelegationEngine:
                 dplan,
                 child,
                 query_id,
+                epoch,
                 created,
                 ddl_log,
                 edge_views,
@@ -292,7 +337,9 @@ class DelegationEngine:
                 remote_object=child_view,
             )
             self._run_ddl(connector, create_ft, ddl_log)
-            created.append((task.annotation, "FOREIGN TABLE", foreign_name))
+            self._track(
+                created, epoch, task.annotation, "FOREIGN TABLE", foreign_name
+            )
 
             if edge.movement is Movement.EXPLICIT:
                 # CREATELOCALTABLE(R'_v, t.a): materialize on the consumer.
@@ -305,7 +352,9 @@ class DelegationEngine:
                     ),
                 )
                 self._run_ddl(connector, ctas, ddl_log)
-                created.append((task.annotation, "TABLE", local_name))
+                self._track(
+                    created, epoch, task.annotation, "TABLE", local_name
+                )
                 materializations.append(
                     (task.annotation, local_name, ctas)
                 )
@@ -320,8 +369,24 @@ class DelegationEngine:
         select = plan_to_select(task.expr)
         create_view = ast.CreateView(name=view_name, query=select)
         self._run_ddl(connector, create_view, ddl_log)
-        created.append((task.annotation, "VIEW", view_name))
+        self._track(created, epoch, task.annotation, "VIEW", view_name)
         return view_name
+
+    def _track(
+        self,
+        created: List[Tuple[str, str, str]],
+        epoch: int,
+        db: str,
+        kind: str,
+        name: str,
+    ) -> None:
+        """Record one freshly created object (in-memory + ledger).
+
+        Ledger recording happens per object, *as created*, so a crash
+        mid-cascade still leaves a durable trail for the reaper."""
+        created.append((db, kind, name))
+        if self._ledger is not None:
+            self._ledger.record(db, kind, name, epoch)
 
     def _run_ddl(
         self,

@@ -1,0 +1,36 @@
+"""Schema-drift resilience: fingerprints, mutations, ledger, reaper.
+
+The in-situ premise (the paper's §I) means remote engines stay
+autonomous: their schemas can change — and their garbage can linger —
+underneath the federation.  This package holds the client-side
+machinery that makes both survivable:
+
+* :mod:`~repro.drift.fingerprint` — schema fingerprints + field diffs
+  backing the global catalog's verification;
+* :mod:`~repro.drift.mutate` — applies
+  :class:`~repro.faults.policy.SchemaDrift` faults to a live engine;
+* :mod:`~repro.drift.ledger` — the per-namespace record of every
+  delegated DDL object and its epoch;
+* :mod:`~repro.drift.reaper` — the epoch-fenced orphan sweep;
+* :mod:`~repro.drift.schedule` — seeded between-queries drift driver
+  for benchmarks and chaos tests.
+"""
+
+from repro.drift.fingerprint import schema_diff, schema_fingerprint
+from repro.drift.ledger import LedgerEntry, ObjectLedger
+from repro.drift.mutate import DRIFT_KINDS, apply_drift, drifted_schema
+from repro.drift.reaper import OrphanReaper, ReapReport
+from repro.drift.schedule import DriftSchedule
+
+__all__ = [
+    "DRIFT_KINDS",
+    "DriftSchedule",
+    "LedgerEntry",
+    "ObjectLedger",
+    "OrphanReaper",
+    "ReapReport",
+    "apply_drift",
+    "drifted_schema",
+    "schema_diff",
+    "schema_fingerprint",
+]

@@ -1,0 +1,60 @@
+"""Schema fingerprints and field-level diffs.
+
+A fingerprint condenses one table's column names/types plus the
+catalog's stats epoch for that table into a short stable hash.  The
+global catalog records a fingerprint per (db, table) at refresh time;
+verification recomputes it from the engine's *live* schema under the
+same epoch, so a mismatch is exactly a schema change (the epoch term
+folds the catalog's refresh generation into the identity without
+hiding drift behind it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Tuple
+
+from repro.relational.schema import Schema
+
+
+def schema_fingerprint(schema: Schema, stats_epoch: int = 0) -> str:
+    """Stable hash of column names/types + the catalog's stats epoch."""
+    columns = ",".join(
+        f"{field.name.lower()}:{field.type}" for field in schema
+    )
+    payload = f"{columns}|epoch={stats_epoch}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def schema_diff(
+    expected: Schema, actual: Optional[Schema]
+) -> Tuple[List[str], List[str], List[str], bool]:
+    """Field-level diff: ``(added, removed, retyped, dropped)``.
+
+    ``added``/``removed`` are column names (a rename appears as one of
+    each); ``retyped`` entries read ``"col: old -> new"``; ``dropped``
+    is True when the live table is gone entirely.
+    """
+    if actual is None:
+        return [], [field.name for field in expected], [], True
+    expected_types = {f.name.lower(): f.type for f in expected}
+    actual_types = {f.name.lower(): f.type for f in actual}
+    added = [
+        field.name
+        for field in actual
+        if field.name.lower() not in expected_types
+    ]
+    removed = [
+        field.name
+        for field in expected
+        if field.name.lower() not in actual_types
+    ]
+    retyped = [
+        f"{field.name}: {expected_types[field.name.lower()]}"
+        f" -> {actual_types[field.name.lower()]}"
+        for field in expected
+        if field.name.lower() in actual_types
+        and actual_types[field.name.lower()]
+        != expected_types[field.name.lower()]
+    ]
+    return added, removed, retyped, False

@@ -1,0 +1,152 @@
+"""Apply a :class:`~repro.faults.policy.SchemaDrift` to a live engine.
+
+Drift mutations act on the *engine side* — they rewrite a stored
+table's schema and rows in place, exactly as an autonomous DBA's DDL
+would, without telling the federation anything.  The global catalog
+only learns about the change through fingerprint verification or a
+schema-shaped delegation failure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.engine.catalog import BaseTable
+from repro.errors import CatalogError
+from repro.relational.schema import Field, Schema
+from repro.sql.types import SQLType, TypeKind, type_from_name
+
+#: Drift kinds :func:`apply_drift` understands.
+DRIFT_KINDS = (
+    "add_column",
+    "drop_column",
+    "rename_column",
+    "retype_column",
+    "drop_table",
+)
+
+
+def type_from_spec(spec) -> SQLType:
+    """Build a type from a JSON-able ``["NAME", *args]`` spec."""
+    if isinstance(spec, SQLType):
+        return spec
+    if isinstance(spec, str):
+        return type_from_name(spec)
+    return type_from_name(spec[0], *spec[1:])
+
+
+def _coerce(value, target: SQLType):
+    """Best-effort value coercion for ``retype_column`` drifts."""
+    if value is None:
+        return None
+    if target.kind in (TypeKind.VARCHAR, TypeKind.CHAR):
+        text = str(value)
+        if target.length is not None:
+            text = text[: target.length]
+        return text
+    if target.kind in (TypeKind.INTEGER, TypeKind.BIGINT):
+        try:
+            return int(float(value))
+        except (TypeError, ValueError):
+            return None
+    if target.kind in (TypeKind.DOUBLE, TypeKind.DECIMAL):
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            return None
+    return value
+
+
+def apply_drift(database, drift) -> None:
+    """Mutate ``database``'s live schema per ``drift`` (see DRIFT_KINDS).
+
+    ``database`` is a :class:`repro.engine.database.Database`;
+    ``drift`` any object with the :class:`~repro.faults.policy.
+    SchemaDrift` fields.  Raises :class:`CatalogError` when the drift
+    does not apply (unknown table/column) — a mis-specified fault
+    schedule should fail loudly, not silently skip.
+    """
+    catalog = database.catalog
+    table = catalog.get(drift.table)
+    if not isinstance(table, BaseTable):
+        raise CatalogError(
+            f"drift target {drift.table!r} is not a stored table on "
+            f"{database.name!r}"
+        )
+
+    if drift.kind == "drop_table":
+        catalog.drop(table.name, "TABLE")
+        return
+
+    fields: List[Field] = list(table.schema)
+    names = [f.name.lower() for f in fields]
+
+    def column_index() -> int:
+        if drift.column is None or drift.column.lower() not in names:
+            raise CatalogError(
+                f"drift column {drift.column!r} not in "
+                f"{database.name}.{table.name}"
+            )
+        return names.index(drift.column.lower())
+
+    if drift.kind == "add_column":
+        new_type = (
+            type_from_spec(drift.new_type)
+            if drift.new_type is not None
+            else type_from_name("INTEGER")
+        )
+        fields.append(Field(drift.column or "drifted", new_type))
+        rows = [tuple(row) + (None,) for row in table.rows]
+    elif drift.kind == "drop_column":
+        index = column_index()
+        del fields[index]
+        rows = [
+            tuple(v for i, v in enumerate(row) if i != index)
+            for row in table.rows
+        ]
+    elif drift.kind == "rename_column":
+        index = column_index()
+        if not drift.new_name:
+            raise CatalogError("rename_column drift needs new_name")
+        fields[index] = fields[index].renamed(drift.new_name)
+        rows = table.rows
+    elif drift.kind == "retype_column":
+        index = column_index()
+        if drift.new_type is None:
+            raise CatalogError("retype_column drift needs new_type")
+        new_type = type_from_spec(drift.new_type)
+        fields[index] = Field(fields[index].name, new_type)
+        rows = [
+            tuple(
+                _coerce(v, new_type) if i == index else v
+                for i, v in enumerate(row)
+            )
+            for row in table.rows
+        ]
+    else:
+        raise CatalogError(f"unknown drift kind {drift.kind!r}")
+
+    table.schema = Schema(fields).unqualified()
+    table.rows[:] = [tuple(row) for row in rows]
+    table.invalidate_stats()
+
+
+def drifted_schema(schema: Schema, drift) -> Optional[Schema]:
+    """What ``schema`` looks like after ``drift`` (None for drop_table)."""
+    probe = BaseTable("_probe", schema, rows=[])
+
+    class _Catalog:
+        def get(self, name):
+            return probe
+
+        def drop(self, name, kind=None):
+            return None
+
+    class _Database:
+        name = "_probe"
+        catalog = _Catalog()
+
+    if drift.kind == "drop_table":
+        return None
+    apply_drift(_Database(), drift)
+    return probe.schema

@@ -103,6 +103,71 @@ class NetworkPartitionedError(NetworkError):
     """
 
 
+class SchemaDriftError(CatalogError):
+    """A remote table's live schema no longer matches the global catalog.
+
+    Raised by the catalog's fingerprint verification (and by the
+    client's drift sniffing) when a remote engine changed a table
+    underneath the federation — the paper's in-situ premise means the
+    sources are autonomous, so this is an expected operational event,
+    not a bug.  Carries a field-level diff so the recovery path (and a
+    human reading the error) can see exactly what moved:
+
+    * ``added`` — columns present on the engine but not in the catalog;
+    * ``removed`` — columns the catalog knows but the engine dropped
+      (a rename shows up as one ``removed`` plus one ``added``);
+    * ``retyped`` — ``"col: old -> new"`` entries for type changes;
+    * ``dropped`` — True when the whole table vanished from the engine.
+
+    ``quarantined`` marks a table the recovery path gave up on: its
+    holders are excluded from placement until a catalog refresh.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        db: str = "",
+        table: str = "",
+        added=None,
+        removed=None,
+        retyped=None,
+        dropped: bool = False,
+        quarantined: bool = False,
+        expected_fingerprint: str = "",
+        actual_fingerprint: str = "",
+    ):
+        super().__init__(message)
+        #: the DBMS whose live schema drifted
+        self.db = db
+        #: the drifted table (catalog-cased name)
+        self.table = table
+        #: column names the engine added
+        self.added = list(added) if added else []
+        #: column names the engine dropped (or renamed away)
+        self.removed = list(removed) if removed else []
+        #: ``"col: old -> new"`` per type change
+        self.retyped = list(retyped) if retyped else []
+        #: the table no longer exists on the engine
+        self.dropped = dropped
+        #: the table is quarantined (placement avoids its holders)
+        self.quarantined = quarantined
+        self.expected_fingerprint = expected_fingerprint
+        self.actual_fingerprint = actual_fingerprint
+
+    def diff_summary(self) -> str:
+        """Compact field-level diff for events and logs."""
+        if self.dropped:
+            return "table dropped"
+        parts = []
+        if self.added:
+            parts.append("+" + ",".join(self.added))
+        if self.removed:
+            parts.append("-" + ",".join(self.removed))
+        if self.retyped:
+            parts.append("~" + ",".join(self.retyped))
+        return " ".join(parts) or "fingerprint mismatch"
+
+
 class OptimizerError(ReproError):
     """Raised when the cross-database optimizer cannot produce a plan."""
 

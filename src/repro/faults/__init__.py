@@ -7,8 +7,10 @@ resilience tests and ``benchmarks/bench_fault_injection.py``:
 
 * :class:`FaultPolicy` — a declarative description of the faults to
   inject: a seeded transient-error rate (global or per DBMS), engine
-  outage windows, slow or partitioned links, and scripted one-shot
-  faults ("kill the Nth DDL statement");
+  outage windows, slow or partitioned links, scripted one-shot faults
+  ("kill the Nth DDL statement"), and one-shot :class:`SchemaDrift`
+  mutations ("rename that column after N calls") applied through
+  :mod:`repro.drift.mutate`;
 * :class:`FaultInjector` — the harness that installs a policy onto a
   :class:`~repro.federation.deployment.Deployment`, hooking every
   :class:`~repro.connect.connector.DBMSConnector` guarded call and the
@@ -32,6 +34,7 @@ from repro.faults.policy import (
     EngineOutage,
     FaultPolicy,
     LinkFault,
+    SchemaDrift,
     ScriptedFault,
 )
 
@@ -40,5 +43,6 @@ __all__ = [
     "FaultInjector",
     "FaultPolicy",
     "LinkFault",
+    "SchemaDrift",
     "ScriptedFault",
 ]

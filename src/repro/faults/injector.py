@@ -35,6 +35,9 @@ class FaultInjector:
         self.injected_transients = 0
         #: guarded calls rejected by an engine outage
         self.injected_outage_rejections = 0
+        #: schema drifts already applied (each fires once)
+        self._drifts_applied: List[bool] = [False] * len(policy.drifts)
+        self.injected_drifts = 0
         self._deployment = None
 
     # -- lifecycle ------------------------------------------------------
@@ -107,6 +110,16 @@ class FaultInjector:
                 return outage
         return None
 
+    def _apply_drift(self, drift) -> None:
+        if self._deployment is None:
+            return
+        # Imported lazily: repro.drift pulls in the engine layer, which
+        # the injector itself must not depend on at import time.
+        from repro.drift.mutate import apply_drift
+
+        apply_drift(self._deployment.database(drift.db), drift)
+        self.injected_drifts += 1
+
     # -- the injection point -------------------------------------------
 
     def before_call(self, db: str, op: str) -> None:
@@ -118,6 +131,18 @@ class FaultInjector:
         with self._lock:
             count = self.calls_by_db.get(db, 0) + 1
             self.calls_by_db[db] = count
+
+            # Schema drifts fire once, when their target engine's call
+            # counter passes the trigger — the mutation lands *before*
+            # the call proceeds, like a DBA's DDL racing the federation.
+            for index, drift in enumerate(self.policy.drifts):
+                if (
+                    not self._drifts_applied[index]
+                    and drift.db == db
+                    and count > drift.after_calls
+                ):
+                    self._drifts_applied[index] = True
+                    self._apply_drift(drift)
 
             outage = self._outage_for(db)
             if outage is not None and outage.down_at(count):

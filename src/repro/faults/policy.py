@@ -76,6 +76,35 @@ class ScriptedFault:
 
 
 @dataclass(frozen=True)
+class SchemaDrift:
+    """Mutate one remote engine's live schema, once, mid-schedule.
+
+    The schema-drift fault kind: after ``after_calls`` guarded calls
+    have reached ``db``, the next guarded call first applies the
+    mutation (see :func:`repro.drift.mutate.apply_drift`) — modelling
+    an autonomous DBA's DDL landing *between* the federation's calls.
+    The federation is not told; it finds out through fingerprint
+    verification or a schema-shaped delegation failure.
+
+    ``kind`` is one of ``add_column`` / ``drop_column`` /
+    ``rename_column`` / ``retype_column`` / ``drop_table``;
+    ``new_type`` is a JSON-able ``("NAME", *args)`` spec (e.g.
+    ``("VARCHAR", 8)``).  ``after_calls=0`` applies before the very
+    first call.  Tests and benchmarks can also apply a drift directly
+    via ``apply_drift(deployment.database(db), drift)`` without any
+    injector.
+    """
+
+    db: str
+    table: str
+    kind: str
+    after_calls: int = 0
+    column: Optional[str] = None
+    new_name: Optional[str] = None
+    new_type: Optional[Tuple] = None
+
+
+@dataclass(frozen=True)
 class FaultPolicy:
     """Everything the injector needs, as data.
 
@@ -91,6 +120,7 @@ class FaultPolicy:
     outages: Tuple[EngineOutage, ...] = ()
     link_faults: Tuple[LinkFault, ...] = ()
     scripted: Tuple[ScriptedFault, ...] = ()
+    drifts: Tuple[SchemaDrift, ...] = ()
 
     def rate_for(self, db: str) -> float:
         return float(self.error_rate_by_db.get(db, self.transient_error_rate))

@@ -1,6 +1,7 @@
-"""Fuzz oracles: round-trip, differential execution, pushdown parity.
+"""Fuzz oracles: round-trip, differential execution, pushdown and
+drift-recovery parity.
 
-Three invariants, each cheap to state and brutal to uphold:
+Four invariants, each cheap to state and brutal to uphold:
 
 1. **Round-trip**: for every dialect, ``render(stmt)`` must parse back
    to the same AST (modulo the recorded surface ``syntax``) and a
@@ -15,6 +16,11 @@ Three invariants, each cheap to state and brutal to uphold:
 3. **Pushdown parity**: a query over a foreign table on a two-engine
    deployment returns the same rows as running it directly on the
    remote engine, whatever the wrapper's pushdown capabilities.
+4. **Drift-recovery parity**: after a live schema mutation lands on
+   the remote engine behind the federation's back, an XDB client with
+   the stale catalog must still answer — and must return exactly the
+   rows a fresh client (introspecting the drifted engine from scratch)
+   returns for the same query.
 """
 
 from __future__ import annotations
@@ -22,7 +28,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List
 
+from repro.core.client import XDB
+from repro.drift.mutate import apply_drift
 from repro.engine.database import Database
+from repro.faults.policy import SchemaDrift
 from repro.federation.deployment import Deployment
 from repro.fuzz.generators import query_statement, spec_to_statement
 from repro.relational.schema import Field, Schema
@@ -248,11 +257,90 @@ def check_pushdown(spec: Dict[str, object]) -> List[str]:
     return failures
 
 
+# -- schema-drift recovery parity -------------------------------------------
+
+
+def _drift_deployment(profile: str) -> Deployment:
+    """Two engines, one cross-database join's worth of data."""
+    deployment = Deployment({"L": "postgres", "R": profile})
+    deployment.load_table(
+        "L",
+        "lt",
+        Schema([Field("a", INTEGER), Field("b", varchar(8))]),
+        [(i % 40, f"v{i % 9}") for i in range(80)],
+    )
+    deployment.load_table(
+        "R",
+        "rt",
+        Schema([Field("a", INTEGER), Field("c", DOUBLE)]),
+        [(i % 70, (i * 3 % 50) / 2.0) for i in range(120)],
+    )
+    return deployment
+
+
+def check_drift(spec: Dict[str, object]) -> List[str]:
+    """Stale-catalog recovery vs a fresh client over the drifted engine.
+
+    The spec carries a cross-database ``query`` and a ``drift`` (the
+    :class:`~repro.faults.policy.SchemaDrift` fields, minus ``db`` /
+    ``table`` which are fixed to the remote ``rt``).  A warmed XDB
+    client submits the query, the drift lands directly on the remote
+    engine, and the same client submits again: it must absorb the
+    drift inside its repair budget and match the oracle — a brand-new
+    client introspecting the already-drifted deployment.
+    """
+    drift_fields = dict(spec["drift"])
+    new_type = drift_fields.get("new_type")
+    drift = SchemaDrift(
+        db="R",
+        table=str(drift_fields.get("table", "rt")),
+        kind=str(drift_fields["kind"]),
+        column=drift_fields.get("column"),
+        new_name=drift_fields.get("new_name"),
+        new_type=tuple(new_type) if new_type is not None else None,
+    )
+    sql = str(spec["query"])
+
+    stale_deployment = _drift_deployment(spec["remote_profile"])
+    xdb = XDB(stale_deployment)
+    try:
+        xdb.submit(sql)
+    except Exception as exc:
+        return [f"pre-drift baseline failed: {exc!r} for {sql!r}"]
+    try:
+        apply_drift(stale_deployment.database("R"), drift)
+    except Exception as exc:
+        return [f"drift did not apply: {exc!r} for {drift!r}"]
+    try:
+        recovered = xdb.submit(sql).result.rows
+    except Exception as exc:
+        return [
+            f"stale-catalog submission did not recover from "
+            f"{drift.kind}: {exc!r} for {sql!r}"
+        ]
+
+    oracle_deployment = _drift_deployment(spec["remote_profile"])
+    apply_drift(oracle_deployment.database("R"), drift)
+    try:
+        direct = XDB(oracle_deployment).submit(sql).result.rows
+    except Exception as exc:
+        return [f"drift oracle execution failed: {exc!r} for {sql!r}"]
+    if _canonical(recovered) != _canonical(direct):
+        return [
+            f"drift recovery mismatch after {drift.kind}: "
+            f"{len(recovered)} recovered rows vs {len(direct)} oracle "
+            f"rows for {sql!r}"
+        ]
+    return []
+
+
 def run_case(spec: Dict[str, object]) -> List[str]:
     """Run every applicable oracle; empty list means the case passed."""
     kind = spec["kind"]
     if kind == "pushdown":
         return check_pushdown(spec)
+    if kind == "drift":
+        return check_drift(spec)
     try:
         stmt = spec_to_statement(spec)
     except Exception as exc:

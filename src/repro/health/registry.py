@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.obs.runtime import current_context
 
@@ -230,6 +230,10 @@ class HealthRegistry:
         # overload benchmark; one reentrant lock serializes every
         # state-machine step (gate + outcome + clock tick).
         self._lock = threading.RLock()
+        #: callbacks fired when a breaker closes after being non-closed
+        #: (engine recovery) — e.g. the orphan reaper marks the engine
+        #: pending for a reconciliation sweep
+        self._recovery_listeners: List[Callable[[str], None]] = []
 
     def breaker(self, db: str) -> CircuitBreaker:
         with self._lock:
@@ -259,10 +263,29 @@ class HealthRegistry:
 
     # -- outcome events ------------------------------------------------
 
+    def add_recovery_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback invoked with the db name whenever an
+        engine's breaker closes after being open/half-open (i.e. the
+        engine just recovered).  Listeners run *outside* the registry
+        lock and must not raise into the guarded call path."""
+        with self._lock:
+            self._recovery_listeners.append(listener)
+
     def record_success(self, db: str) -> None:
         with self._lock:
             self.clock.advance(self.config.tick_seconds)
-            self.breaker(db).record_success()
+            breaker = self.breaker(db)
+            was_recovering = breaker.state is not BreakerState.CLOSED
+            breaker.record_success()
+            recovered = (
+                was_recovering and breaker.state is BreakerState.CLOSED
+            )
+            listeners = list(self._recovery_listeners) if recovered else []
+        for listener in listeners:
+            try:
+                listener(db)
+            except Exception:  # noqa: BLE001 - listeners must not break calls
+                pass
 
     def record_failure(self, db: str, reason: str = "hard failure") -> None:
         with self._lock:

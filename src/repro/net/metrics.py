@@ -115,6 +115,9 @@ class ResilienceSummary:
     """Per-connector and aggregate resilience counters for one window."""
 
     by_connector: Dict[str, ConnectorResilience] = field(default_factory=dict)
+    #: outstanding leaked DDL objects in the client's ledger at report
+    #: time — cumulative across submissions, paid down by the reaper
+    leaked_objects: int = 0
 
     @property
     def retries(self) -> int:
@@ -150,6 +153,8 @@ class ResilienceSummary:
         ]
         if self.fastfails:
             parts.append(f"{self.fastfails} breaker fast-fails")
+        if self.leaked_objects:
+            parts.append(f"{self.leaked_objects} leaked objects outstanding")
         noisy = {
             name: c
             for name, c in sorted(self.by_connector.items())

@@ -82,6 +82,8 @@ class QoSReport:
     stale_read: bool = False
     #: snapshot age (simulated seconds) when ``stale_read`` is True
     staleness_seconds: Optional[float] = None
+    #: why the read degraded: "overload", "breaker-open", or "drift"
+    stale_reason: str = ""
 
     def describe(self) -> str:
         parts = [f"priority={self.priority}"]
@@ -96,7 +98,8 @@ class QoSReport:
                 f"{self.admission_wait_seconds + self.admission_sim_seconds:.3f}s"
             )
         if self.stale_read:
+            reason = f", {self.stale_reason}" if self.stale_reason else ""
             parts.append(
-                f"stale read ({self.staleness_seconds:.3f}s behind)"
+                f"stale read ({self.staleness_seconds:.3f}s behind{reason})"
             )
         return ", ".join(parts)

@@ -5,9 +5,23 @@ from __future__ import annotations
 import pytest
 
 from repro.engine.database import Database
+from repro.engine.profiles import clear_calibrated
 from repro.federation.deployment import Deployment
 from repro.relational.schema import Field, Schema
 from repro.sql.types import DOUBLE, INTEGER, varchar
+
+
+@pytest.fixture(autouse=True)
+def _isolate_calibrated_profiles():
+    """Drop any calibrated-profile overlay a test installed.
+
+    ``bench.harness.build_systems`` applies the calibrated overlay by
+    default; the overlay is process-global, so without this teardown a
+    harness test would silently change the cost constants every later
+    test sees.
+    """
+    yield
+    clear_calibrated()
 
 
 def normalized_rows(rows, places: int = 2):
