@@ -63,10 +63,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     )
     parser.add_argument("--presto-workers", type=int, default=4)
     parser.add_argument(
-        "--uncalibrated",
+        "--calibrated",
         action="store_true",
-        help="cost with the hand-set profile constants instead of the "
-        "calibrated overlay (benchmarks/results/calibrated_profiles.json)",
+        help="apply the executor-fitted profile overlay "
+        "(benchmarks/results/calibrated_profiles.json) instead of the "
+        "default testbed constants; see EXPERIMENTS.md for the deltas",
     )
     return parser.parse_args(argv)
 
@@ -89,7 +90,7 @@ def run_grid(args: argparse.Namespace) -> List[List[object]]:
     systems = build_systems(
         deployment,
         presto_workers=args.presto_workers,
-        calibrated=not getattr(args, "uncalibrated", False),
+        calibrated=getattr(args, "calibrated", False),
     )
 
     runners = {

@@ -21,7 +21,11 @@ import json
 import sys
 from typing import Dict
 
-from repro.calibrate.fit import evaluate_constants, fit_constants
+from repro.calibrate.fit import (
+    evaluate_constants,
+    fit_constants,
+    fit_intercepts,
+)
 from repro.calibrate.harness import run_workload
 from repro.engine.profiles import (
     available_profiles,
@@ -45,9 +49,15 @@ def calibrate_profile(
     after = evaluate_constants(
         observations, fitted, profile.calibration
     )
+    # Whatever per-query time the per-row constants leave unexplained
+    # becomes the per-statement startup intercept.
+    intercepts = fit_intercepts(
+        observations, fitted, profile, repeat=repeat
+    )
     return {
         "constants_before": profile.constants(),
-        "constants_after": fitted,
+        "constants_after": {**fitted, **intercepts},
+        "startup_fit": intercepts,
         "before": before,
         "after": after,
         "improved": after["median_q_error"] < before["median_q_error"],

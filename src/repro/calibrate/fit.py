@@ -108,6 +108,47 @@ def fit_constants(
     return fitted
 
 
+def fit_intercepts(
+    observations: List[Observation],
+    constants: Mapping[str, float],
+    profile: EngineProfile,
+    repeat: int = 1,
+) -> Dict[str, float]:
+    """Per-query intercept fit for the per-statement startup constants.
+
+    Reuses the per-operator span observations: group them by workload
+    query, subtract the share the fitted per-row ``constants`` explain,
+    and take the *median per-run leftover* as the statement startup —
+    ``startup_cost`` in engine cost units and ``startup_latency`` as
+    the same intercept converted to seconds, so the EXPLAIN-side and
+    schedule-side representations of the fixed overhead agree.
+    """
+    by_query: Dict[str, List[Observation]] = {}
+    for obs in observations:
+        by_query.setdefault(obs.query, []).append(obs)
+    runs = max(int(repeat), 1)
+    intercepts: List[float] = []
+    for query_obs in by_query.values():
+        measured = sum(
+            obs.seconds for obs in query_obs
+        ) * profile.calibration
+        explained = sum(
+            predicted_units(obs.features, constants)
+            for obs in query_obs
+        )
+        intercepts.append(max((measured - explained) / runs, 0.0))
+    if not intercepts:
+        return {
+            "startup_cost": profile.startup_cost,
+            "startup_latency": profile.startup_latency,
+        }
+    units = max(median(intercepts), CONSTANT_FLOOR)
+    return {
+        "startup_cost": units,
+        "startup_latency": units / profile.calibration,
+    }
+
+
 def evaluate_constants(
     observations: List[Observation],
     constants: Mapping[str, float],

@@ -150,24 +150,34 @@ class PlanAnnotator:
     # -- traversal -------------------------------------------------------------
 
     def _visit(
-        self, node: algebra.LogicalPlan, annotation: Annotation
+        self,
+        node: algebra.LogicalPlan,
+        annotation: Annotation,
+        prefer: Optional[str] = None,
     ) -> str:
         children = node.children()
 
         if isinstance(node, algebra.Scan):
-            db = self._place_scan(node)
+            db = self._place_scan(node, prefer)
             annotation.bind_node(node, db)
             return db
 
         if len(children) == 1:
-            child_db = self._visit(children[0], annotation)
+            child_db = self._visit(children[0], annotation, prefer)
             annotation.bind_node(node, child_db)
             annotation.bind_edge(children[0], node, Movement.IMPLICIT)
             return child_db
 
         if isinstance(node, (algebra.Join, algebra.Union)):
-            left_db = self._visit(node.left, annotation)
-            right_db = self._visit(node.right, annotation)
+            # Partition-wise placement: each side's replica choices are
+            # steered toward the DBMS hosting that side's partition
+            # branch, so a replicated dimension joining a shard lands
+            # on the shard's engine and the fragment stays in-situ
+            # (Rule 3 then keeps the whole branch implicit).
+            left_anchor = self._partition_anchor(node.left) or prefer
+            right_anchor = self._partition_anchor(node.right) or prefer
+            left_db = self._visit(node.left, annotation, left_anchor)
+            right_db = self._visit(node.right, annotation, right_anchor)
             if left_db == right_db:
                 # Rule 3.
                 annotation.bind_node(node, left_db)
@@ -183,7 +193,26 @@ class PlanAnnotator:
 
     # -- degradation-aware placement (replica-aware Rule 1) -------------
 
-    def _place_scan(self, scan: algebra.Scan) -> str:
+    def _partition_anchor(
+        self, node: algebra.LogicalPlan
+    ) -> Optional[str]:
+        """The DBMS that would host the first partition-branch scan
+        under ``node`` (None when the subtree touches no partition)."""
+        for leaf in node.leaves():
+            if (
+                isinstance(leaf, algebra.Scan)
+                and leaf.partition_of is not None
+                and not leaf.placeholder
+            ):
+                try:
+                    return self._place_scan(leaf)
+                except (OptimizerError, EngineUnavailableError):
+                    return None
+        return None
+
+    def _place_scan(
+        self, scan: algebra.Scan, prefer: Optional[str] = None
+    ) -> str:
         """Rule 1 over replicas: the cheapest *healthy* holder wins.
 
         Un-replicated tables keep the old behavior — the single holder
@@ -192,9 +221,10 @@ class PlanAnnotator:
         surface as a stack trace later.  For a replicated table every
         healthy holder is a candidate; the cheapest one (by calibrated
         sequential-scan cost at the holder's engine profile) is chosen,
-        with the holder name as a deterministic tie-break.  ``db=None``
-        on the raised error marks the condition unrepairable: there is
-        no surviving replica to re-plan onto.
+        with ``prefer`` (the enclosing join's partition anchor, if any)
+        breaking cost ties ahead of the holder name.  ``db=None`` on
+        the raised error marks the condition unrepairable: there is no
+        surviving replica to re-plan onto.
         """
         holders = list(scan.replica_dbs) or (
             [scan.source_db] if scan.source_db else []
@@ -235,15 +265,16 @@ class PlanAnnotator:
             return healthy[0]
         rows = scan.estimated_rows or 1000.0
 
-        def scan_cost(db: str) -> Tuple[float, str]:
+        def scan_cost(db: str) -> Tuple[float, int, str]:
             connector = self._connectors.get(db)
             if connector is None:
-                return (float("inf"), db)
+                return (float("inf"), 1, db)
             profile = connector.profile
             return (
                 profile.cost_to_seconds(
                     rows * profile.seq_scan_cost_per_row
                 ),
+                0 if db == prefer else 1,
                 db,
             )
 

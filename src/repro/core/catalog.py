@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.connect.connector import DBMSConnector
+from repro.core.partition import PartitionSpec, partition_name
 from repro.drift.fingerprint import schema_diff, schema_fingerprint
 from repro.engine.cost import ScanStats
 from repro.engine.stats import TableStats
@@ -36,8 +37,18 @@ from repro.relational.schema import Schema
 class GlobalCatalog(TableResolver):
     """Union of the local schemas across all federation members."""
 
-    def __init__(self, connectors: Mapping[str, DBMSConnector]):
+    def __init__(
+        self,
+        connectors: Mapping[str, DBMSConnector],
+        partition_specs: Optional[Mapping[str, PartitionSpec]] = None,
+    ):
         self._connectors = dict(connectors)
+        #: logical table (lowercase) -> PartitionSpec.  Held by
+        #: reference, not copied: the deployment mutates its spec map
+        #: when tables are (re)partitioned and the catalog must see it.
+        self._partition_specs: Mapping[str, PartitionSpec] = (
+            partition_specs if partition_specs is not None else {}
+        )
         #: (db, table_lower) -> Schema
         self._schemas: Dict[Tuple[str, str], Schema] = {}
         #: table_lower -> list of dbs exposing it
@@ -319,11 +330,38 @@ class GlobalCatalog(TableResolver):
         self._ensure_loaded()
         return self._stats.get((db, table.lower()))
 
+    # -- partitioned tables ------------------------------------------------------------
+
+    def partition_spec(self, table: str) -> Optional[PartitionSpec]:
+        """The partitioning of a logical table name, if any."""
+        return self._partition_specs.get(table.lower())
+
+    def has_partitions(self) -> bool:
+        return bool(self._partition_specs)
+
+    def _resolve_partitioned(self, spec: PartitionSpec) -> ResolvedTable:
+        """Synthesize the logical table from its first partition.
+
+        The logical name exists nowhere on the engines — only the
+        ``<table>__p<i>`` shards do.  The builder's scan of the logical
+        name is a stand-in the expansion pass replaces wholesale, so
+        shard 0's schema and holder are representative enough.
+        """
+        first = partition_name(spec.table, 0)
+        db = self.locate(first)
+        return ResolvedTable(
+            table=spec.table, schema=self.schema_of(db, first), source_db=db
+        )
+
     # -- resolver interface -----------------------------------------------------------
 
     def resolve_table(self, parts: Tuple[str, ...]) -> ResolvedTable:
         self._ensure_loaded()
         replicas: Tuple[str, ...] = ()
+        if len(parts) == 1:
+            spec = self.partition_spec(parts[0])
+            if spec is not None:
+                return self._resolve_partitioned(spec)
         if len(parts) == 2:
             # Qualified names pin the holder: the user chose a replica.
             db, table = parts
@@ -350,6 +388,9 @@ class GlobalCatalog(TableResolver):
         if scan.placeholder:
             rows = scan.estimated_rows if scan.estimated_rows else 1000.0
             return ScanStats(row_count=rows, columns={})
+        spec = self.partition_spec(scan.table)
+        if spec is not None and scan.partition_of is None:
+            return self._partitioned_stats(spec)
         if scan.source_db is None:
             raise CatalogError(
                 f"scan of {scan.table!r} has no source DBMS annotation"
@@ -360,3 +401,25 @@ class GlobalCatalog(TableResolver):
         return ScanStats(
             row_count=float(stats.row_count), columns=stats.columns
         )
+
+    def _partitioned_stats(self, spec: PartitionSpec) -> ScanStats:
+        """Aggregate shard statistics for a *logical* partitioned scan.
+
+        Row counts sum across shards; column statistics come from the
+        first shard with any (an approximation — NDVs of the partition
+        key are shard-local, but join ordering only needs the scale).
+        """
+        rows = 0.0
+        columns: Dict[str, object] = {}
+        for name in spec.partition_names():
+            for db in self._live_holders(name.lower()):
+                stats = self.stats_of(db, name)
+                if stats is None:
+                    continue
+                rows += float(stats.row_count)
+                if not columns:
+                    columns = dict(stats.columns)
+                break
+        if rows <= 0.0:
+            return ScanStats(row_count=1000.0, columns={})
+        return ScanStats(row_count=rows, columns=columns)

@@ -226,6 +226,17 @@ class XDBReport:
         return self.context.to_chrome_trace()
 
 
+def _slots(deployment: Deployment) -> Optional[int]:
+    """Per-engine task slots for the schedule simulator.
+
+    A single-worker deployment keeps the legacy unbounded-overlap
+    semantics (None); only explicit multi-worker engines cap how many
+    delegated tasks one engine advances concurrently.
+    """
+    workers = deployment.parallel_workers
+    return workers if workers > 1 else None
+
+
 class XDB:
     """The middleware: cross-database optimizer + delegation engine."""
 
@@ -259,7 +270,10 @@ class XDB:
         self.deployment = deployment
         self.repair_budget = repair_budget
         self.connectors = deployment.connectors
-        self.catalog = GlobalCatalog(self.connectors)
+        self.catalog = GlobalCatalog(
+            self.connectors,
+            partition_specs=deployment.partition_specs,
+        )
         self.optimizer = LogicalOptimizer(self.catalog, plan_shape=plan_shape)
         self.annotator = PlanAnnotator(
             self.connectors,
@@ -564,6 +578,7 @@ class XDB:
                             network,
                             self.deployment.client_node,
                             result_bytes=result.byte_size(),
+                            worker_slots=_slots(self.deployment),
                         )
 
                 # Middleware CPU during exec is not on the critical path
@@ -1186,6 +1201,7 @@ class PreparedQuery:
                             network,
                             self._xdb.deployment.client_node,
                             result_bytes=result.byte_size(),
+                            worker_slots=_slots(self._xdb.deployment),
                         )
             finally:
                 if lease is not None:

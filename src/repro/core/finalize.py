@@ -211,7 +211,11 @@ def _rebuild_with_renames(
         return algebra.Sort(child, keys)
     if isinstance(node, algebra.Union):
         left, right = children
-        return algebra.Union(left, right)
+        return algebra.Union(
+            left,
+            right,
+            schema=node.schema if node.explicit_schema else None,
+        )
     if isinstance(node, (algebra.Limit, algebra.Distinct, algebra.Alias)):
         return node.with_children(children)
     raise OptimizerError(

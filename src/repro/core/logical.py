@@ -10,6 +10,7 @@ estimated cardinality (the annotator's Rule 4 consumes them).
 from __future__ import annotations
 
 from repro.core.catalog import GlobalCatalog
+from repro.core.partition import expand_partitions
 from repro.engine.cost import CardinalityEstimator
 from repro.relational import algebra
 from repro.relational.builder import build_plan
@@ -50,6 +51,17 @@ class LogicalOptimizer:
             shape=self._plan_shape,
         )
         plan = prune_columns(plan)
+        if self._catalog.has_partitions():
+            # Last rewrite: replace partitioned-table scans with their
+            # per-shard branches (zipping co-partitioned joins,
+            # broadcasting small sides, gathering the rest under UNION
+            # ALL).  Runs after join ordering so the DP searches the
+            # compact logical space, not one blown up per shard.
+            plan = expand_partitions(
+                plan,
+                self._catalog.partition_spec,
+                lambda name: self._catalog.resolve_table((name,)),
+            )
         # A fresh estimator pass annotates every node of the final tree
         # with its cardinality (the rewrites rebuilt the nodes).
         final_estimator = CardinalityEstimator(self._catalog.scan_stats)

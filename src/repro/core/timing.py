@@ -19,7 +19,7 @@ systems are timed under one model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.connect.connector import DBMSConnector
 from repro.core.delegate import DeployedQuery
@@ -85,6 +85,7 @@ def simulate_schedule(
     client_node: str,
     result_bytes: int,
     pipelined: bool = True,
+    worker_slots: Optional[int] = None,
 ) -> ScheduleResult:
     """Simulate the decentralized execution of a deployed plan.
 
@@ -92,6 +93,12 @@ def simulate_schedule(
     as if materialized (producer → transfer → consumer strictly
     serialize), quantifying how much of XDB's win comes from the
     inter-DBMS pipelining of §V-B.
+
+    ``worker_slots`` caps how many delegated tasks one engine advances
+    at a time (its intra-query worker pool).  ``None`` keeps the legacy
+    unbounded overlap; an integer K greedily assigns each task the
+    engine slot that frees up earliest, so per-partition fragments on
+    the same engine overlap up to K-wide.
     """
     dplan = deployed.plan
     proc = {
@@ -101,6 +108,8 @@ def simulate_schedule(
 
     start: Dict[int, float] = {}
     finish: Dict[int, float] = {}
+    # engine name -> per-slot busy-until times (worker_slots mode only)
+    slots: Dict[str, List[float]] = {}
 
     def schedule(task: Task) -> float:
         if task.task_id in finish:
@@ -124,12 +133,23 @@ def simulate_schedule(
                 ready = max(ready, start[child.task_id] + link_latency)
                 absolute_bounds.append(child_finish + link_latency)
                 duration_bounds.append(xfer)
+        slot_index: Optional[int] = None
+        if worker_slots is not None:
+            engine_slots = slots.setdefault(
+                task.annotation, [0.0] * worker_slots
+            )
+            slot_index = min(
+                range(worker_slots), key=engine_slots.__getitem__
+            )
+            ready = max(ready, engine_slots[slot_index])
         start[task.task_id] = ready
         end = ready + proc[task.task_id]
         for bound in absolute_bounds:
             end = max(end, bound)
         for duration in duration_bounds:
             end = max(end, ready + duration)
+        if slot_index is not None:
+            slots[task.annotation][slot_index] = end
         finish[task.task_id] = end
         return end
 

@@ -60,6 +60,7 @@ class Database:
         profile: str = "postgres",
         node: Optional[str] = None,
         execution_mode: str = "batch",
+        parallel_workers: int = 1,
     ):
         self.name = name
         self.profile: EngineProfile = (
@@ -73,6 +74,10 @@ class Database:
                 f"expected one of {self.EXECUTION_MODES}"
             )
         self.execution_mode = execution_mode
+        #: worker threads for intra-query parallelism (> 1 makes the
+        #: planner lower UNION ALL chains — notably gathered partition
+        #: branches — to a pool-fed parallel operator)
+        self.parallel_workers = max(int(parallel_workers), 1)
         self.catalog = Catalog(name)
         self.dialect: Renderer = dialect_for(self.profile.dialect)
         self.planner = LocalPlanner(self)

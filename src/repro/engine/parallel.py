@@ -1,0 +1,140 @@
+"""Intra-query parallelism: a bounded worker pool for plan branches.
+
+The vectorized executor is single-threaded per operator; partition
+expansion, however, leaves the gathering engine with N independent
+UNION ALL branches (one per shard).  ``WorkerPool`` drains such
+branches through a fixed number of worker threads, propagating the
+full observation context into each one:
+
+* the ambient :class:`~repro.obs.context.QueryContext` is pushed onto
+  the worker thread (:func:`repro.obs.runtime.push_context`), so
+  connector counters, metrics, and events land in the right query;
+* the worker *adopts* the spawning thread's current span on the shared
+  tracer, so every branch's spans form a proper subtree — no orphans,
+  no cross-thread interleaving.
+
+Each branch's *busy time* is measured with the per-thread CPU clock
+(:func:`repro.obs.clock.thread_cpu_now`): under the GIL, wall time on
+concurrent branches double-counts contention, while thread-CPU time
+stays comparable to a serial run.  :func:`makespan` converts such
+busy times into the derived wall clock of a K-wide pool — the same
+longest-processing-time list scheduling the schedule simulator's slot
+model uses.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.obs.clock import thread_cpu_now
+from repro.obs.runtime import pop_context, push_context
+
+
+@dataclass
+class BranchOutcome:
+    """What one branch produced: its value and its thread-CPU cost."""
+
+    index: int
+    value: object = None
+    busy_seconds: float = 0.0
+    error: Optional[BaseException] = None
+
+
+class WorkerPool:
+    """Run independent thunks over at most ``workers`` threads."""
+
+    def __init__(self, workers: int):
+        self.workers = max(int(workers), 1)
+
+    def map(
+        self,
+        thunks: Sequence[Callable[[], object]],
+        context=None,
+    ) -> List[BranchOutcome]:
+        """Run every thunk; outcomes come back in submission order.
+
+        ``context`` is the active :class:`QueryContext` (or None); its
+        tracer and metrics become visible inside every branch.  The
+        first branch exception is re-raised after all branches settle,
+        so no worker is abandoned mid-flight.
+        """
+        thunks = list(thunks)
+        outcomes = [BranchOutcome(index) for index in range(len(thunks))]
+        if not thunks:
+            return outcomes
+        tracer = context.tracer if context is not None else None
+        parent = tracer.current if tracer is not None else None
+        work: "queue.SimpleQueue" = queue.SimpleQueue()
+        for item in enumerate(thunks):
+            work.put(item)
+
+        def drain() -> None:
+            while True:
+                try:
+                    index, thunk = work.get_nowait()
+                except queue.Empty:
+                    return
+                self._run_branch(index, thunk, outcomes, context, parent)
+
+        threads = [
+            threading.Thread(
+                target=drain, name=f"xdb-worker-{index}", daemon=True
+            )
+            for index in range(min(self.workers, len(thunks)))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return outcomes
+
+    def _run_branch(
+        self, index, thunk, outcomes, context, parent
+    ) -> None:
+        outcome = outcomes[index]
+        if context is not None:
+            push_context(context)
+        tracer = context.tracer if context is not None else None
+        span = None
+        if tracer is not None and parent is not None:
+            tracer.adopt(parent)
+            span = tracer.start_span(
+                f"branch-{index}", kind="parallel", branch=index
+            )
+        begin = thread_cpu_now()
+        try:
+            outcome.value = thunk()
+        except BaseException as exc:  # re-raised by map()
+            outcome.error = exc
+            if span is not None:
+                span.status = "error"
+        finally:
+            outcome.busy_seconds = thread_cpu_now() - begin
+            if tracer is not None and parent is not None:
+                if span is not None:
+                    span.attributes["busy_seconds"] = outcome.busy_seconds
+                    tracer.end_span(span)
+                tracer.release(parent)
+            if context is not None:
+                pop_context(context)
+
+
+def makespan(durations: Iterable[float], workers: int) -> float:
+    """Derived wall seconds to drain ``durations`` on ``workers`` slots.
+
+    Longest-processing-time list scheduling: each duration goes to the
+    slot that frees up earliest, largest first.  With one worker this
+    is the plain sum; with enough workers, the longest branch.
+    """
+    workers = max(int(workers), 1)
+    slots = [0.0] * workers
+    for duration in sorted(durations, reverse=True):
+        index = min(range(workers), key=slots.__getitem__)
+        slots[index] += duration
+    return max(slots, default=0.0)

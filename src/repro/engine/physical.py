@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.parallel import WorkerPool
 from repro.engine.vector import (
     BATCH_SIZE,
     ColumnBatch,
@@ -26,6 +27,7 @@ from repro.engine.vector import (
     batches_from_rows,
 )
 from repro.errors import ExecutionError
+from repro.obs.runtime import current_context
 from repro.relational.algebra import AggregateSpec
 from repro.relational.schema import Schema
 
@@ -769,6 +771,74 @@ class UnionAllOp(PhysicalPlan):
         remaining = hint
         for side in (self.left, self.right):
             for batch in side.batches(remaining):
+                if remaining is not None:
+                    batch = batch.head(remaining)
+                    remaining -= batch.length
+                    yield batch
+                    if remaining <= 0:
+                        return
+                else:
+                    yield batch
+
+
+class ParallelUnionAllOp(PhysicalPlan):
+    """N-ary gather whose inputs drain concurrently on a worker pool.
+
+    The parallel lowering of a UNION ALL chain — typically the gather
+    over per-shard partition branches.  Every branch materializes on a
+    pool thread with the ambient query context propagated (spans,
+    metrics, counters all attribute correctly); the gather then emits
+    branch outputs in branch order, so results are deterministic
+    regardless of worker interleaving.  Branches run eagerly and do not
+    see a LIMIT hint — the gather truncates on the consumer side (the
+    documented batch-granularity caveat, widened to branch granularity).
+    """
+
+    def __init__(
+        self,
+        branches: Sequence[PhysicalPlan],
+        schema: Schema,
+        workers: int,
+    ):
+        super().__init__()
+        self.branches = list(branches)
+        self.schema = schema
+        self.workers = max(int(workers), 1)
+        #: per-branch thread-CPU seconds from the latest execution (the
+        #: bench derives the pool makespan from these)
+        self.branch_busy_seconds: List[float] = []
+
+    def children(self) -> List[PhysicalPlan]:
+        return list(self.branches)
+
+    def label(self) -> str:
+        return (
+            f"ParallelUnionAll[{len(self.branches)} branches, "
+            f"{self.workers} workers]"
+        )
+
+    def _gather(self, produce):
+        pool = WorkerPool(self.workers)
+        outcomes = pool.map(
+            [
+                (lambda branch=branch: produce(branch))
+                for branch in self.branches
+            ],
+            context=current_context(),
+        )
+        self.branch_busy_seconds = [
+            outcome.busy_seconds for outcome in outcomes
+        ]
+        return [outcome.value for outcome in outcomes]
+
+    def _produce(self) -> Iterator[tuple]:
+        for chunk in self._gather(lambda branch: list(branch.rows())):
+            yield from chunk
+
+    def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
+        remaining = hint
+        for chunk in self._gather(lambda branch: list(branch.batches())):
+            for batch in chunk:
                 if remaining is not None:
                     batch = batch.head(remaining)
                     remaining -= batch.length

@@ -119,6 +119,17 @@ class LocalPlanner:
             return self._plan_join(plan)
 
         if isinstance(plan, algebra.Union):
+            if self._db.parallel_workers > 1:
+                # Flatten the left-deep UNION ALL chain (how partition
+                # gathers arrive) and drain every branch through the
+                # engine's worker pool.
+                branches = [
+                    self.to_physical(branch)
+                    for branch in _union_branches(plan)
+                ]
+                return physical.ParallelUnionAllOp(
+                    branches, plan.schema, self._db.parallel_workers
+                )
             return physical.UnionAllOp(
                 self.to_physical(plan.left),
                 self.to_physical(plan.right),
@@ -351,6 +362,21 @@ class LocalPlanner:
             left_key_kernels=left_kernels,
             right_key_kernels=right_kernels,
         )
+
+
+def _union_branches(plan: algebra.Union) -> List[algebra.LogicalPlan]:
+    """The leaves of a left-deep UNION ALL chain, in branch order."""
+    branches: List[algebra.LogicalPlan] = []
+
+    def walk(node: algebra.LogicalPlan) -> None:
+        if isinstance(node, algebra.Union):
+            walk(node.left)
+            walk(node.right)
+        else:
+            branches.append(node)
+
+    walk(plan)
+    return branches
 
 
 class _Rebind(physical.PhysicalPlan):

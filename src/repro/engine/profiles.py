@@ -24,11 +24,10 @@ from typing import Dict, Iterable, Mapping
 
 from repro.errors import CatalogError
 
-#: The cost constants the calibration harness (``repro.calibrate``)
-#: regresses against measured executor timings.  ``startup_cost`` and
-#: ``calibration`` stay fixed: the former is amortized noise on the
-#: micro-workload, the latter *defines* the units-to-seconds currency
-#: the fit solves in.
+#: The per-row cost constants the calibration harness
+#: (``repro.calibrate``) regresses against measured executor timings.
+#: ``calibration`` stays fixed: it *defines* the units-to-seconds
+#: currency the fit solves in.
 CALIBRATABLE_CONSTANTS = (
     "seq_scan_cost_per_row",
     "cpu_tuple_cost",
@@ -36,6 +35,12 @@ CALIBRATABLE_CONSTANTS = (
     "sort_cost_factor",
     "foreign_fetch_cost_per_row",
 )
+
+#: The per-statement startup constants, fitted separately as per-query
+#: intercepts (whatever measured time the per-row constants cannot
+#: explain): ``startup_cost`` is the intercept in engine cost units,
+#: ``startup_latency`` the same intercept in seconds.
+STARTUP_CONSTANTS = ("startup_cost", "startup_latency")
 
 
 @dataclass(frozen=True)
@@ -70,16 +75,18 @@ class EngineProfile:
     def constants(self) -> Dict[str, float]:
         """The calibratable cost constants as a plain mapping."""
         return {
-            name: getattr(self, name) for name in CALIBRATABLE_CONSTANTS
+            name: getattr(self, name)
+            for name in CALIBRATABLE_CONSTANTS + STARTUP_CONSTANTS
         }
 
     def with_constants(self, **constants: float) -> "EngineProfile":
         """A copy of this profile with some cost constants replaced."""
-        unknown = set(constants) - set(CALIBRATABLE_CONSTANTS)
+        allowed = CALIBRATABLE_CONSTANTS + STARTUP_CONSTANTS
+        unknown = set(constants) - set(allowed)
         if unknown:
             raise CatalogError(
                 f"cannot calibrate constants {sorted(unknown)}; "
-                f"expected a subset of {list(CALIBRATABLE_CONSTANTS)}"
+                f"expected a subset of {list(allowed)}"
             )
         return replace(self, **constants)
 

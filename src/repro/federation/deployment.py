@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.connect.connector import DBMSConnector
+from repro.core.partition import PartitionSpec, partition_name
 from repro.engine.database import Database
 from repro.engine.fdw import RemoteServer
 from repro.errors import CatalogError, NetworkError
@@ -55,6 +56,7 @@ class Deployment:
         client_node: str = CLIENT_NODE,
         middleware_site: Optional[str] = None,
         execution_mode: str = "batch",
+        parallel_workers: int = 1,
     ):
         """Create databases named per ``profiles`` (name → vendor).
 
@@ -65,6 +67,11 @@ class Deployment:
         pass ``"cloud"`` explicitly for the §VI-C managed-cloud cost
         scenario.  ``execution_mode`` selects every member engine's
         executor: ``"batch"`` (vectorized, default) or ``"row"``.
+        ``parallel_workers`` sizes each engine's worker pool for
+        intra-query parallelism (UNION ALL branches — in particular
+        gathered partition fragments — are pulled concurrently when
+        it is > 1; the schedule simulator uses the same number as its
+        per-engine task slot count).
         """
         names = list(profiles)
         if topology == "onprem":
@@ -89,6 +96,10 @@ class Deployment:
         self.client_node = client_node
 
         self.execution_mode = execution_mode
+        self.parallel_workers = max(int(parallel_workers), 1)
+        #: logical table (lowercase) -> PartitionSpec; the global
+        #: catalog holds this mapping by reference
+        self.partition_specs: Dict[str, PartitionSpec] = {}
         self.databases: Dict[str, Database] = {}
         for name, profile in profiles.items():
             self.databases[name] = Database(
@@ -96,6 +107,7 @@ class Deployment:
                 profile=profile,
                 node=name,
                 execution_mode=execution_mode,
+                parallel_workers=self.parallel_workers,
             )
 
         self._wire_servers()
@@ -267,6 +279,63 @@ class Deployment:
         self.database(to_db).create_table(
             table, source.schema, list(source.rows)
         )
+
+    def partition_table(
+        self,
+        table: str,
+        key: str,
+        by_db: Iterable[str],
+        scheme: str = "hash",
+        bounds: Tuple = (),
+        from_db: Optional[str] = None,
+    ) -> PartitionSpec:
+        """Split a loaded table into per-shard tables across DBMSes.
+
+        ``by_db`` names the database hosting each shard, in partition
+        order — its length is the partition count (a database may
+        appear more than once to host several shards).  Rows route by
+        ``key`` under ``scheme`` (``"hash"`` with a stable hash, or
+        ``"range"`` over ascending upper-exclusive ``bounds``).  The
+        original table is dropped from every holder: only the shards
+        remain, and the logical name lives on solely in the partition
+        spec the global catalog resolves.  Like replication, the split
+        is an out-of-band operator action — no ledger traffic.
+        """
+        by_db = list(by_db)
+        spec = PartitionSpec(
+            table=table.lower(),
+            key=key,
+            partitions=len(by_db),
+            scheme=scheme,
+            bounds=tuple(bounds),
+        )
+        holders = [
+            name
+            for name, database in self.databases.items()
+            if database.catalog.get(table) is not None
+        ]
+        if from_db is None:
+            if not holders:
+                raise CatalogError(
+                    f"cannot partition unknown table {table!r}"
+                )
+            from_db = holders[0]
+        source = self.database(from_db).catalog.get(table)
+        if source is None:
+            raise CatalogError(f"no table {table!r} on DBMS {from_db!r}")
+        schema = source.schema
+        key_index = schema.resolve(key)
+        shards: List[List[tuple]] = [[] for _ in by_db]
+        for row in source.rows:
+            shards[spec.index_for(row[key_index])].append(row)
+        for index, db_name in enumerate(by_db):
+            self.database(db_name).create_table(
+                partition_name(spec.table, index), schema, shards[index]
+            )
+        for holder in holders:
+            self.database(holder).catalog.drop(table)
+        self.partition_specs[spec.table] = spec
+        return spec
 
     # -- metrics ------------------------------------------------------------------------
 

@@ -10,7 +10,11 @@ the oracle:
 * ``query`` — a SELECT over the fixed fuzz schema, round-tripped *and*
   executed differentially (row engine vs batch engine, per vendor);
 * ``pushdown`` — a foreign-table query on a two-engine deployment,
-  compared against direct execution on the remote engine.
+  compared against direct execution on the remote engine;
+* ``partition`` — a query spec plus a hash/range partitioning of the
+  fuzz tables across a four-engine federation, checked by the
+  partition-parity oracle (partitioned and unpartitioned deployments
+  must return identical rows through XDB).
 
 Identifier and string pools concentrate on capability edges: quote
 characters of all three dialects, ``/`` (the MariaDB CONNECTION
@@ -166,15 +170,41 @@ def generate_case(rng: random.Random) -> Dict[str, object]:
                 for _ in range(rng.randint(1, 3))
             ],
         }
-    if roll < 0.86:
+    if roll < 0.80:
         return _gen_query(rng)
+    if roll < 0.93:
+        return {
+            "kind": "pushdown",
+            "remote_profile": rng.choice(["postgres", "mariadb", "hive"]),
+            "where_value": (
+                rng.randint(0, 60) if rng.random() < 0.7 else None
+            ),
+            "project_all": rng.random() < 0.4,
+        }
+    return gen_partition_case(rng)
+
+
+def gen_partition_case(rng: random.Random) -> Dict[str, object]:
+    """A partitioned-deployment spec wrapping a random query.
+
+    The key column ``a`` takes values in ``[0, 70)``, so range bounds
+    split that domain evenly; ``co_partition`` also partitions ``t2``
+    with the same spec (compatible keys — joins can zip shard-wise).
+    """
+    partitions = rng.randint(2, 4)
+    scheme = rng.choice(["hash", "range"])
+    bounds = (
+        []
+        if scheme == "hash"
+        else [70 * i // partitions for i in range(1, partitions)]
+    )
     return {
-        "kind": "pushdown",
-        "remote_profile": rng.choice(["postgres", "mariadb", "hive"]),
-        "where_value": (
-            rng.randint(0, 60) if rng.random() < 0.7 else None
-        ),
-        "project_all": rng.random() < 0.4,
+        "kind": "partition",
+        "scheme": scheme,
+        "partitions": partitions,
+        "bounds": bounds,
+        "co_partition": rng.random() < 0.5,
+        "query": _gen_query(rng),
     }
 
 

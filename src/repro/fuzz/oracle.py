@@ -1,7 +1,7 @@
-"""Fuzz oracles: round-trip, differential execution, pushdown and
-drift-recovery parity.
+"""Fuzz oracles: round-trip, differential execution, pushdown,
+drift-recovery and partition parity.
 
-Four invariants, each cheap to state and brutal to uphold:
+Five invariants, each cheap to state and brutal to uphold:
 
 1. **Round-trip**: for every dialect, ``render(stmt)`` must parse back
    to the same AST (modulo the recorded surface ``syntax``) and a
@@ -21,6 +21,11 @@ Four invariants, each cheap to state and brutal to uphold:
    the stale catalog must still answer — and must return exactly the
    rows a fresh client (introspecting the drifted engine from scratch)
    returns for the same query.
+5. **Partition parity**: splitting a table into hash/range shards
+   across a four-engine federation (workers pulling the gathered
+   branches in parallel) must not change any query's result — the
+   partitioned deployment returns exactly the unpartitioned
+   deployment's rows.
 """
 
 from __future__ import annotations
@@ -334,6 +339,95 @@ def check_drift(spec: Dict[str, object]) -> List[str]:
     return []
 
 
+# -- partition parity --------------------------------------------------------
+
+
+def _parity_deployment(
+    spec: Dict[str, object], partitioned: bool
+) -> Deployment:
+    """Four engines with the fuzz tables; optionally shard them."""
+    deployment = Deployment(
+        {f"p{i}": "postgres" for i in range(1, 5)},
+        parallel_workers=2 if partitioned else 1,
+    )
+    t1 = [
+        (i % 70, _B_VALUES[i % len(_B_VALUES)], (i * 7 % 100) / 2.0)
+        for i in range(60)
+    ]
+    t2 = [(i * 3 % 70, f"d{i}") for i in range(20)]
+    deployment.load_table(
+        "p1",
+        "t1",
+        Schema(
+            [
+                Field("a", INTEGER),
+                Field("b", varchar(25)),
+                Field("c", DOUBLE),
+            ]
+        ),
+        t1,
+    )
+    deployment.load_table(
+        "p2",
+        "t2",
+        Schema([Field("a", INTEGER), Field("d", varchar(8))]),
+        t2,
+    )
+    if partitioned:
+        count = int(spec["partitions"])
+        by_db = [f"p{index % 4 + 1}" for index in range(count)]
+        scheme = str(spec["scheme"])
+        bounds = tuple(spec.get("bounds") or ())
+        deployment.partition_table(
+            "t1", "a", by_db, scheme=scheme, bounds=bounds
+        )
+        if spec.get("co_partition"):
+            deployment.partition_table(
+                "t2", "a", by_db, scheme=scheme, bounds=bounds
+            )
+    return deployment
+
+
+def check_partition(spec: Dict[str, object]) -> List[str]:
+    """Partitioned vs unpartitioned execution of the same query."""
+    qspec = dict(spec["query"])
+    select = query_statement(qspec)
+    sql = dialect_for("postgres").render(select)
+    # LIMIT without ORDER BY leaves *which* rows implementation-defined
+    # (and partitioning legitimately changes arrival order).
+    compare_rows = not (
+        qspec.get("limit") is not None and not qspec.get("order")
+    )
+    try:
+        plain = XDB(_parity_deployment(spec, False)).submit(sql)
+    except Exception as exc:
+        return [f"unpartitioned baseline failed: {exc!r} for {sql!r}"]
+    try:
+        sharded = XDB(_parity_deployment(spec, True)).submit(sql)
+    except Exception as exc:
+        return [
+            f"partitioned execution failed "
+            f"({spec['scheme']}/{spec['partitions']}): {exc!r} "
+            f"for {sql!r}"
+        ]
+    plain_c = _canonical(plain.result.rows)
+    sharded_c = _canonical(sharded.result.rows)
+    if len(plain_c) != len(sharded_c):
+        return [
+            f"partition parity cardinality mismatch "
+            f"({spec['scheme']}/{spec['partitions']}): {len(plain_c)} "
+            f"unpartitioned vs {len(sharded_c)} rows for {sql!r}"
+        ]
+    if compare_rows and plain_c != sharded_c:
+        return [
+            f"partition parity mismatch "
+            f"({spec['scheme']}/{spec['partitions']}, "
+            f"co_partition={spec.get('co_partition')}): rows differ "
+            f"for {sql!r}"
+        ]
+    return []
+
+
 def run_case(spec: Dict[str, object]) -> List[str]:
     """Run every applicable oracle; empty list means the case passed."""
     kind = spec["kind"]
@@ -341,6 +435,8 @@ def run_case(spec: Dict[str, object]) -> List[str]:
         return check_pushdown(spec)
     if kind == "drift":
         return check_drift(spec)
+    if kind == "partition":
+        return check_partition(spec)
     try:
         stmt = spec_to_statement(spec)
     except Exception as exc:

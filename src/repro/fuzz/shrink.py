@@ -99,6 +99,23 @@ def _candidates(spec: Dict[str, object]) -> Iterator[Dict[str, object]]:
             yield {**spec, "where_value": None}
         if spec.get("project_all"):
             yield {**spec, "project_all": False}
+    if spec.get("kind") == "partition":
+        if spec.get("co_partition"):
+            yield {**spec, "co_partition": False}
+        if spec.get("scheme") != "hash":
+            yield {**spec, "scheme": "hash", "bounds": []}
+        if int(spec.get("partitions", 2)) > 2:
+            count = int(spec["partitions"]) - 1
+            bounds = spec.get("bounds") or []
+            yield {
+                **spec,
+                "partitions": count,
+                "bounds": bounds[: count - 1],
+            }
+        inner = spec.get("query")
+        if isinstance(inner, dict):
+            for shrunk in _candidates(inner):
+                yield {**spec, "query": shrunk}
 
 
 def _simpler_values(value) -> List[object]:

@@ -20,3 +20,14 @@ import time
 def wall_now() -> float:
     """Monotonic wall-clock seconds (``time.perf_counter``)."""
     return time.perf_counter()
+
+
+def thread_cpu_now() -> float:
+    """CPU seconds consumed by the *calling thread* (``time.thread_time``).
+
+    The worker pool measures each branch's busy time with this clock so
+    GIL contention between sibling branches does not inflate per-branch
+    work — the numbers stay comparable to a single-threaded run, which
+    is what the derived pool-makespan model needs.
+    """
+    return time.thread_time()

@@ -25,6 +25,7 @@ without touching the live span stack.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
@@ -160,16 +161,28 @@ class Span:
 
 
 class Tracer:
-    """Builds the span tree and owns the simulated clock."""
+    """Builds the span tree and owns the simulated clock.
+
+    Thread-aware: each thread keeps its own stack of open spans, so
+    worker-pool branches build disjoint subtrees concurrently.  A
+    worker announces itself with :meth:`adopt` (seeding its stack under
+    the span it works for) and cleans up with :meth:`release`.  Span-id
+    allocation, child attachment, and the simulated clock share one
+    lock; everything else is single-writer per thread.
+    """
 
     def __init__(self, root_name: str = "query", **attributes: object):
+        self._lock = threading.RLock()
         self._next_id = 0
         #: the simulated clock: network + backoff seconds attributed so far
         self.sim_now = 0.0
         self.root = self._new_span(
             root_name, kind="query", parent=None, attributes=attributes
         )
-        self._stack: List[Span] = [self.root]
+        self._home_thread = threading.get_ident()
+        self._stacks: Dict[int, List[Span]] = {
+            self._home_thread: [self.root]
+        }
 
     # -- span lifecycle ------------------------------------------------
 
@@ -182,25 +195,50 @@ class Tracer:
         sim_start: Optional[float] = None,
         attributes: Optional[Dict[str, object]] = None,
     ) -> Span:
-        span = Span(
-            name,
-            kind=kind,
-            span_id=self._next_id,
-            parent=parent,
-            wall_start=wall_now(),
-            sim_start=self.sim_now if sim_start is None else sim_start,
-            timebase=timebase,
-            attributes=attributes,
-        )
-        self._next_id += 1
-        if parent is not None:
-            parent.children.append(span)
+        with self._lock:
+            span = Span(
+                name,
+                kind=kind,
+                span_id=self._next_id,
+                parent=parent,
+                wall_start=wall_now(),
+                sim_start=self.sim_now if sim_start is None else sim_start,
+                timebase=timebase,
+                attributes=attributes,
+            )
+            self._next_id += 1
+            if parent is not None:
+                parent.children.append(span)
         return span
+
+    @property
+    def _stack(self) -> List[Span]:
+        """The calling thread's stack (un-adopted threads see the root)."""
+        return self._stacks.setdefault(threading.get_ident(), [self.root])
 
     @property
     def current(self) -> Span:
         """The innermost open span (the attribution target)."""
         return self._stack[-1]
+
+    def adopt(self, parent: Span) -> None:
+        """Seed the calling worker thread's span stack under ``parent``.
+
+        Spans the worker opens become children of ``parent`` instead of
+        landing on some other thread's stack.
+        """
+        self._stacks[threading.get_ident()] = [parent]
+
+    def release(self, parent: Span) -> None:
+        """Drop the calling worker thread's stack (closes stragglers)."""
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            return
+        while len(stack) > 1:
+            self.end_span(stack[-1])
+        if ident != self._home_thread:
+            del self._stacks[ident]
 
     def start_span(self, name: str, kind: str = "span", **attributes) -> Span:
         span = self._new_span(
@@ -233,11 +271,17 @@ class Tracer:
 
     def finish(self) -> Span:
         """Close the root span (idempotent); returns it."""
-        while len(self._stack) > 1:  # defensive: close stragglers
-            self.end_span(self._stack[-1])
-        if self.root.wall_end is None:
-            self.root.wall_end = wall_now()
-            self.root.sim_end = self.sim_now
+        with self._lock:
+            for ident, stack in list(self._stacks.items()):
+                while len(stack) > 1:  # defensive: close stragglers
+                    span = stack.pop()
+                    span.wall_end = wall_now()
+                    span.sim_end = self.sim_now
+                if ident != self._home_thread:
+                    del self._stacks[ident]
+            if self.root.wall_end is None:
+                self.root.wall_end = wall_now()
+                self.root.sim_end = self.sim_now
         return self.root
 
     # -- synthetic spans (foreign timebases) ---------------------------
@@ -275,8 +319,9 @@ class Tracer:
         """Advance the simulated clock (simulated cost was incurred)."""
         if seconds < 0:
             raise ValueError("the simulated clock cannot run backwards")
-        self.sim_now += seconds
-        return self.sim_now
+        with self._lock:
+            self.sim_now += seconds
+            return self.sim_now
 
     def add_event(
         self,

@@ -89,6 +89,8 @@ class Scan(LogicalPlan):
         placeholder: bool = False,
         requalify: bool = True,
         replica_dbs: Tuple[str, ...] = (),
+        partition_of: Optional[str] = None,
+        partition_index: Optional[int] = None,
     ):
         super().__init__()
         self.table = table
@@ -99,6 +101,10 @@ class Scan(LogicalPlan):
         self.source_db = source_db
         self.replica_dbs = tuple(replica_dbs)
         self.placeholder = placeholder
+        # Set by the partition expansion pass: the logical table this
+        # scan is one shard of, and which shard.
+        self.partition_of = partition_of
+        self.partition_index = partition_index
 
     def label(self) -> str:
         where = f"@{self.source_db}" if self.source_db else ""
@@ -410,36 +416,55 @@ class Union(LogicalPlan):
     """``UNION ALL`` of two positionally compatible inputs.
 
     Output columns take the left input's names (unqualified); types are
-    widened to the per-position common supertype.
+    widened to the per-position common supertype.  An explicit
+    ``schema`` overrides that default — the partition expansion pass
+    gathers identical branches and must keep their *qualified* field
+    names so expressions above the union keep resolving.
     """
 
-    def __init__(self, left: LogicalPlan, right: LogicalPlan):
+    def __init__(
+        self,
+        left: LogicalPlan,
+        right: LogicalPlan,
+        schema: Optional[Schema] = None,
+    ):
         super().__init__()
         if len(left.schema) != len(right.schema):
             raise TypeCheckError(
                 f"UNION ALL branches have different arities: "
                 f"{len(left.schema)} vs {len(right.schema)}"
             )
-        from repro.sql.types import common_supertype
-
-        fields = []
-        for left_field, right_field in zip(left.schema, right.schema):
-            fields.append(
-                Field(
-                    left_field.name,
-                    common_supertype(left_field.type, right_field.type),
+        self.explicit_schema = schema is not None
+        if schema is not None:
+            if len(schema) != len(left.schema):
+                raise TypeCheckError(
+                    f"UNION ALL explicit schema has arity {len(schema)}, "
+                    f"branches have {len(left.schema)}"
                 )
-            )
+            self.schema = schema
+        else:
+            from repro.sql.types import common_supertype
+
+            fields = []
+            for left_field, right_field in zip(left.schema, right.schema):
+                fields.append(
+                    Field(
+                        left_field.name,
+                        common_supertype(left_field.type, right_field.type),
+                    )
+                )
+            self.schema = Schema(fields)
         self.left = left
         self.right = right
-        self.schema = Schema(fields)
 
     def children(self) -> List[LogicalPlan]:
         return [self.left, self.right]
 
     def with_children(self, children: Sequence[LogicalPlan]) -> "Union":
         left, right = children
-        return Union(left, right)
+        return Union(
+            left, right, schema=self.schema if self.explicit_schema else None
+        )
 
     def label(self) -> str:
         return "UnionAll"

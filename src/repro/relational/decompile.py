@@ -64,7 +64,38 @@ class _Decompiler:
             node = node.child
 
         if isinstance(node, algebra.Union):
-            return self._decompile_union(node, sort_source, limit)
+            if not distinct:
+                return self._decompile_union(node, sort_source, limit)
+            # DISTINCT over a UNION ALL chain (e.g. over gathered
+            # partition branches): UNION ALL syntax cannot carry the
+            # distinctness, so wrap the union as a derived table under
+            # a SELECT DISTINCT.
+            subquery = self._decompile_union(node, None, None)
+            alias = self._fresh_alias()
+            names = _query_output_names(subquery)
+            order_by = ()
+            if sort_source is not None:
+
+                def sort_ref(expr: ast.Expression) -> ast.Expression:
+                    if isinstance(expr, ast.ColumnRef):
+                        index = node.schema.resolve(expr.name, expr.table)
+                        return ast.ColumnRef(names[index], alias)
+                    return expr
+
+                order_by = tuple(
+                    ast.OrderItem(sort_ref(key.expr), key.ascending)
+                    for key in sort_source.keys
+                )
+            return ast.Select(
+                items=tuple(
+                    ast.SelectItem(ast.ColumnRef(name, alias), name)
+                    for name in names
+                ),
+                from_items=(ast.DerivedTable(subquery, alias),),
+                order_by=order_by,
+                limit=limit,
+                distinct=True,
+            )
 
         select = self._decompile_body(node)
         if sort_source is not None:

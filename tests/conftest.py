@@ -15,10 +15,10 @@ from repro.sql.types import DOUBLE, INTEGER, varchar
 def _isolate_calibrated_profiles():
     """Drop any calibrated-profile overlay a test installed.
 
-    ``bench.harness.build_systems`` applies the calibrated overlay by
-    default; the overlay is process-global, so without this teardown a
-    harness test would silently change the cost constants every later
-    test sees.
+    ``bench.harness.build_systems(calibrated=True)`` installs the
+    overlay; it is process-global, so without this teardown a harness
+    test would silently change the cost constants every later test
+    sees.
     """
     yield
     clear_calibrated()

@@ -127,10 +127,13 @@ def test_calibrated_overlay_reaches_cost_model():
 
 
 def test_with_constants_rejects_uncalibratable_fields():
+    # ``calibration`` defines the units-to-seconds currency the fit
+    # solves in; it must never be refit (startup_cost/startup_latency
+    # are intercept-fitted and therefore allowed).
     from repro.errors import CatalogError
 
     with pytest.raises(CatalogError):
-        profile_base("postgres").with_constants(startup_cost=0.0)
+        profile_base("postgres").with_constants(calibration=1.0)
 
 
 def test_instrumented_spans_carry_exec_seconds():
