@@ -1,0 +1,217 @@
+"""Cardinality-feedback benchmark — the Q-Error loop on TPC-H.
+
+Seeds the global catalog with adversarially skewed statistics (every
+large table claims to hold one row — the classic stale-ANALYZE
+pathology), runs Q3/Q8/Q9 cold, then re-runs them against the warmed
+:class:`~repro.feedback.store.FeedbackStore`: the harvested actuals
+re-steer the Selinger join-order DP and the Rule-4 placement costing,
+so the second execution picks a different join order / placement and
+moves less data.
+
+Standalone (like ``bench_drift.py``) so CI can gate on it cheaply::
+
+    python benchmarks/bench_feedback.py           # default config
+    python benchmarks/bench_feedback.py --check   # regression gate
+
+Writes ``benchmarks/results/BENCH_feedback.json`` with per-query
+cold/warm execution seconds, transfer bytes, plan signatures, and
+Q-Error medians; ``--check`` exits non-zero unless at least two of the
+three queries change their plan *and* improve simulated runtime or
+transfer volume by >= 1.3x, the aggregate median Q-Error drops after
+one feedback round, and every warmed result stays byte-identical to
+its cold run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.scenarios import (  # noqa: E402
+    build_tpch_deployment,
+    distribution,
+)
+from repro.core.client import XDB  # noqa: E402
+from repro.feedback.report import median_q_error  # noqa: E402
+from repro.feedback.store import FeedbackStore  # noqa: E402
+from repro.workloads.tpch import query  # noqa: E402
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_feedback.json"
+)
+
+#: the scalability-experiment queries (Fig. 12) — join-order sensitive
+WORKLOAD = ("Q3", "Q8", "Q9")
+#: the stale-ANALYZE pathology: every large table claims one row
+SKEWED_ROW_COUNTS = {
+    "lineitem": 1,
+    "orders": 1,
+    "partsupp": 1,
+    "part": 1,
+    "supplier": 1,
+}
+#: a warmed run must beat its cold run by this factor (exec or bytes)
+IMPROVEMENT_FLOOR = 1.3
+#: ... on at least this many of the three queries, with a new plan
+IMPROVED_QUERIES_FLOOR = 2
+
+
+def plan_signature(report) -> str:
+    """The delegation plan's shape, stripped of movement statistics
+    (attributed row counts vary with execution, the shape must not)."""
+    return re.sub(r"\s*\[\d+ rows\]", "", report.plan.describe())
+
+
+def canonical_rows(rows):
+    return sorted(repr(tuple(row)) for row in rows)
+
+
+def run_loop(td: str, scale_factor: float) -> dict:
+    deployment, _ = build_tpch_deployment(td, scale_factor)
+    store = FeedbackStore()
+    xdb = XDB(deployment, feedback=store)
+    xdb.warm_metadata()
+    placement = distribution(td)
+    for table, row_count in SKEWED_ROW_COUNTS.items():
+        xdb.catalog.override_stats(placement[table], table, row_count)
+
+    queries = {}
+    cold_observations = []
+    warm_observations = []
+    for name in WORKLOAD:
+        cold = xdb.submit(query(name))
+        warm = xdb.submit(query(name))
+        cold_observations.extend(cold.feedback)
+        warm_observations.extend(warm.feedback)
+        exec_ratio = cold.execution_seconds / max(
+            warm.execution_seconds, 1e-9
+        )
+        transfer_ratio = cold.transfers.total_megabytes / max(
+            warm.transfers.total_megabytes, 1e-9
+        )
+        queries[name] = {
+            "cold_exec_seconds": cold.execution_seconds,
+            "warm_exec_seconds": warm.execution_seconds,
+            "cold_transfer_mb": cold.transfers.total_megabytes,
+            "warm_transfer_mb": warm.transfers.total_megabytes,
+            "exec_speedup": exec_ratio,
+            "transfer_reduction": transfer_ratio,
+            "plan_changed": (
+                plan_signature(cold) != plan_signature(warm)
+            ),
+            "cold_plan": plan_signature(cold),
+            "warm_plan": plan_signature(warm),
+            "cold_median_q_error": median_q_error(cold.feedback),
+            "warm_median_q_error": median_q_error(warm.feedback),
+            "rows": len(cold.result.rows),
+            "result_parity": (
+                canonical_rows(cold.result.rows)
+                == canonical_rows(warm.result.rows)
+            ),
+        }
+
+    improved = [
+        name
+        for name, entry in queries.items()
+        if entry["plan_changed"]
+        and max(entry["exec_speedup"], entry["transfer_reduction"])
+        >= IMPROVEMENT_FLOOR
+    ]
+    return {
+        "queries": queries,
+        "improved_queries": sorted(improved),
+        "learned_entries": len(store),
+        "median_q_error_cold": median_q_error(cold_observations),
+        "median_q_error_warm": median_q_error(warm_observations),
+    }
+
+
+def check(report: dict) -> list:
+    """The regression gate; returns a list of violation strings."""
+    run = report["run"]
+    problems = []
+    for name, entry in run["queries"].items():
+        if not entry["result_parity"]:
+            problems.append(
+                f"{name}: warmed rows differ from the cold run"
+            )
+    if len(run["improved_queries"]) < IMPROVED_QUERIES_FLOOR:
+        problems.append(
+            f"only {run['improved_queries']} changed plan and improved "
+            f">= {IMPROVEMENT_FLOOR}x (need {IMPROVED_QUERIES_FLOOR} "
+            f"of {list(run['queries'])})"
+        )
+    if not run["median_q_error_warm"] < run["median_q_error_cold"]:
+        problems.append(
+            f"median Q-Error did not drop after one feedback round "
+            f"({run['median_q_error_cold']:.2f} -> "
+            f"{run['median_q_error_warm']:.2f})"
+        )
+    if run["learned_entries"] == 0:
+        problems.append("the feedback store learned nothing")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--td", default="TD1",
+                        help="TPC-H table distribution (default TD1)")
+    parser.add_argument("--scale-factor", type=float, default=0.002,
+                        help="TPC-H scale factor (default 0.002)")
+    parser.add_argument("--out", type=pathlib.Path, default=RESULTS_PATH,
+                        help=f"output JSON path (default {RESULTS_PATH})")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero on gate violations")
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "cardinality-feedback",
+        "python": platform.python_version(),
+        "config": {
+            "td": args.td,
+            "scale_factor": args.scale_factor,
+            "workload": list(WORKLOAD),
+            "skewed_row_counts": dict(SKEWED_ROW_COUNTS),
+            "improvement_floor": IMPROVEMENT_FLOOR,
+        },
+        "run": run_loop(args.td, args.scale_factor),
+    }
+
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    run = report["run"]
+    for name, entry in run["queries"].items():
+        print(
+            f"{name}: exec {entry['cold_exec_seconds']:.3f}s -> "
+            f"{entry['warm_exec_seconds']:.3f}s "
+            f"(x{entry['exec_speedup']:.2f}), transfer "
+            f"{entry['cold_transfer_mb']:.3f}MB -> "
+            f"{entry['warm_transfer_mb']:.3f}MB "
+            f"(x{entry['transfer_reduction']:.2f}), "
+            f"plan_changed={entry['plan_changed']}, "
+            f"q-error {entry['cold_median_q_error']:.1f} -> "
+            f"{entry['warm_median_q_error']:.1f}"
+        )
+    print(
+        f"improved: {run['improved_queries']}; median q-error "
+        f"{run['median_q_error_cold']:.2f} -> "
+        f"{run['median_q_error_warm']:.2f}; "
+        f"{run['learned_entries']} learned entries"
+    )
+    if args.check:
+        problems = check(report)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

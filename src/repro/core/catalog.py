@@ -21,6 +21,7 @@ dead engines until the next full refresh.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.connect.connector import DBMSConnector
@@ -329,6 +330,27 @@ class GlobalCatalog(TableResolver):
     def stats_of(self, db: str, table: str) -> Optional[TableStats]:
         self._ensure_loaded()
         return self._stats.get((db, table.lower()))
+
+    def override_stats(
+        self, db: str, table: str, row_count: float
+    ) -> None:
+        """Force the cataloged row count of ``db.table``.
+
+        A deliberate-skew hook for the cardinality-feedback bench and
+        tests: the planner sees ``row_count`` until the next
+        :meth:`refresh` re-reads the engine's real statistics.
+        """
+        self._ensure_loaded()
+        key = (db, table.lower())
+        stats = self._stats.get(key)
+        if stats is None:
+            self._stats[key] = TableStats(
+                row_count=float(row_count), columns={}
+            )
+        else:
+            self._stats[key] = dataclasses.replace(
+                stats, row_count=float(row_count)
+            )
 
     # -- partitioned tables ------------------------------------------------------------
 

@@ -7,6 +7,14 @@ carries the §VI-E phase breakdown (prep / lopt / ann / exec), the
 delegation plan with per-edge movement statistics (Table IV), and the
 transfer summary for the data-movement experiments (Fig. 14).
 
+The planning machinery itself lives in :mod:`repro.core.pipeline`: a
+submission is a :class:`~repro.core.pipeline.PlanState` driven through
+the re-enterable stage sequence by :class:`~repro.core.pipeline.
+PlanPipeline`, and every recovery flavour (outage, drift, blown
+estimate) is a stage re-entry within the repair budget.  This module
+keeps the user-facing surface: :class:`XDB`, :class:`XDBReport`, and
+:class:`PreparedQuery`.
+
 Every submission runs inside one :class:`~repro.obs.context.
 QueryContext`: the phase breakdown, transfer summary, resilience
 counters, and recovery report are all *views* over its span tree and
@@ -21,13 +29,19 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.annotate import Annotation, PlanAnnotator
 from repro.core.catalog import GlobalCatalog
 from repro.core.delegate import DelegationEngine, DeployedQuery
 from repro.core.finalize import PlanFinalizer
 from repro.core.logical import LogicalOptimizer
+from repro.core.pipeline import (  # noqa: F401  (RecoveryReport re-export)
+    PlanPipeline,
+    PlanState,
+    RecoveryReport,
+    _slots,
+)
 from repro.core.plan import DelegationPlan
 from repro.core.timing import (
     ScheduleResult,
@@ -38,109 +52,25 @@ from repro.drift.ledger import ObjectLedger
 from repro.drift.reaper import OrphanReaper, ReapReport
 from repro.engine.result import Result
 from repro.errors import (
-    BindError,
-    CatalogError,
     CircuitOpenError,
     DeadlineExceeded,
-    DelegationError,
-    EngineUnavailableError,
     OptimizerError,
     OverloadError,
     ReproError,
     SchemaDriftError,
-    TypeCheckError,
 )
 from repro.federation.deployment import Deployment
-from repro.health import BreakerEvent
+from repro.feedback.harvest import harvest_execution
+from repro.feedback.report import qerror_table
+from repro.feedback.store import FeedbackOverlay, FeedbackStore, Observation
 from repro.net.metrics import ResilienceSummary, TransferSummary
-from repro.obs.clock import wall_now
 from repro.obs.context import QueryContext
 from repro.qos import PRIORITY_NORMAL, QoSPolicy, QoSReport
 from repro.sql import ast
-from repro.sql.parser import parse_statement
 
 #: transfer tags on the execution critical path for prepared
 #: re-executions (no annotation phase, so no consult/probe traffic)
 _PREPARED_CONTROL_TAGS = ("delegation", "control")
-
-
-@dataclass
-class RecoveryReport:
-    """What the self-healing layer did for one submission.
-
-    Present on every report; :attr:`repaired` distinguishes the common
-    untouched case from submissions the plan-repair loop had to
-    re-annotate around an engine outage.
-    """
-
-    #: how many times the repair loop re-planned (0 = no repair needed)
-    repair_attempts: int = 0
-    #: DBMSes reported to the health registry as down, in repair order
-    repaired_dbs: List[str] = field(default_factory=list)
-    #: simulated + CPU seconds spent from first failure to repaired run
-    repair_seconds: float = 0.0
-    #: circuit-breaker transitions recorded during this submission
-    breaker_transitions: List[BreakerEvent] = field(default_factory=list)
-    #: where each base table's scan ran in the first finalized plan
-    #: (table → DBMS) — keyed by table, not task, because a repaired
-    #: plan may group operators into different tasks entirely
-    placement_before: Dict[str, str] = field(default_factory=dict)
-    #: scan placement of the plan that actually produced the result
-    placement: Dict[str, str] = field(default_factory=dict)
-    #: schema drifts absorbed (re-introspect + replan) this submission
-    drift_events: int = 0
-    #: (db, table) pairs whose drift was absorbed, in detection order
-    drifted_tables: List[Tuple[str, str]] = field(default_factory=list)
-    #: (db, table) pairs quarantined as unreconcilable this submission
-    quarantined: List[Tuple[str, str]] = field(default_factory=list)
-
-    @property
-    def repaired(self) -> bool:
-        return self.repair_attempts > 0
-
-    @property
-    def drifted(self) -> bool:
-        return self.drift_events > 0
-
-    def placement_diff(self) -> Dict[str, Tuple[str, str]]:
-        """Tables whose scan moved: table → (old DBMS, new DBMS)."""
-        diff: Dict[str, Tuple[str, str]] = {}
-        for table, db in self.placement.items():
-            before = self.placement_before.get(table)
-            if before is not None and before != db:
-                diff[table] = (before, db)
-        return diff
-
-    def describe(self) -> str:
-        if not self.repaired and not self.drifted:
-            return "no repair needed"
-        parts = []
-        if self.repaired:
-            moved = ", ".join(
-                f"{table}: {old}→{new}"
-                for table, (old, new) in sorted(
-                    self.placement_diff().items()
-                )
-            )
-            parts.append(
-                f"{self.repair_attempts} repair(s) around "
-                f"{sorted(set(self.repaired_dbs))} in "
-                f"{self.repair_seconds:.3f}s"
-                + (f"; moved {moved}" if moved else "")
-            )
-        if self.drifted:
-            drifted = ", ".join(
-                f"{db}.{table}" for db, table in self.drifted_tables
-            )
-            line = f"{self.drift_events} drift(s) absorbed on {drifted}"
-            if not self.repaired:
-                line += f" in {self.repair_seconds:.3f}s"
-            if self.quarantined:
-                line += "; quarantined " + ", ".join(
-                    f"{db}.{table}" for db, table in self.quarantined
-                )
-            parts.append(line)
-        return "; ".join(parts)
 
 
 @dataclass
@@ -160,8 +90,8 @@ class XDBReport:
     consultations: int = 0
     #: per-connector retry/failure counters for this submission
     resilience: Optional[ResilienceSummary] = None
-    #: plan-repair activity (None for prepared-query re-executions,
-    #: which re-run a frozen deployment instead of re-planning)
+    #: plan-repair activity (None for prepared-query re-executions that
+    #: re-ran a frozen deployment without any recovery)
     recovery: Optional[RecoveryReport] = None
     #: the observation context the submission ran under: span tree,
     #: context-scoped metrics, attributed transfers, trace exports
@@ -169,6 +99,9 @@ class XDBReport:
     #: QoS receipt — admission wait, deadline spend, staleness — when
     #: the submission carried a :class:`~repro.qos.QoSPolicy`
     qos: Optional[QoSReport] = None
+    #: Q-Error observations harvested from this execution (estimate vs
+    #: actual per task boundary and base-table scan)
+    feedback: List[Observation] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -204,7 +137,9 @@ class XDBReport:
             )
         if self.resilience is not None and self.resilience.degraded:
             lines.append(f"resilience: {self.resilience.describe()}")
-        if self.recovery is not None and self.recovery.repaired:
+        if self.recovery is not None and (
+            self.recovery.repaired or self.recovery.adapted
+        ):
             lines.append(f"recovery: {self.recovery.describe()}")
         if self.qos is not None:
             lines.append(f"qos: {self.qos.describe()}")
@@ -217,24 +152,18 @@ class XDBReport:
         header = "phases: " + ", ".join(
             f"{name}={seconds:.3f}s" for name, seconds in self.phases.items()
         )
-        return header + "\n" + self.context.explain_tree()
+        out = header + "\n" + self.context.explain_tree()
+        if self.feedback:
+            table = qerror_table(self.feedback)
+            if table:
+                out += "\n" + table
+        return out
 
     def to_chrome_trace(self) -> Dict[str, object]:
         """Chrome trace-event JSON for this submission's span tree."""
         if self.context is None:
             raise OptimizerError("no observation context recorded")
         return self.context.to_chrome_trace()
-
-
-def _slots(deployment: Deployment) -> Optional[int]:
-    """Per-engine task slots for the schedule simulator.
-
-    A single-worker deployment keeps the legacy unbounded-overlap
-    semantics (None); only explicit multi-worker engines cap how many
-    delegated tasks one engine advances concurrently.
-    """
-    workers = deployment.parallel_workers
-    return workers if workers > 1 else None
 
 
 class XDB:
@@ -249,6 +178,9 @@ class XDB:
         repair_budget: int = 2,
         ddl_namespace: str = "",
         ledger_path: Optional[str] = None,
+        feedback: Optional[FeedbackStore] = None,
+        feedback_path: Optional[str] = None,
+        adaptivity_threshold: Optional[float] = None,
     ):
         """Create the middleware over ``deployment``.
 
@@ -266,6 +198,15 @@ class XDB:
         ``xf_/xm_/xv_`` objects cannot collide.  ``ledger_path``
         persists the delegated-object ledger as JSON, so a restarted
         client can still reap what a crashed one leaked.
+
+        The Q-Error loop is opt-in: pass a :class:`FeedbackStore` (or
+        ``feedback_path`` to persist one as JSON) and every execution
+        harvests per-operator (estimate, actual) pairs that re-steer
+        the join-order DP and Rule-4 costing of later plans.
+        ``adaptivity_threshold`` additionally arms *mid-query*
+        adaptation: when a materialized task boundary's Q-Error exceeds
+        it, the unexecuted plan suffix is re-annotated with the
+        executed tasks pinned.
         """
         self.deployment = deployment
         self.repair_budget = repair_budget
@@ -274,7 +215,18 @@ class XDB:
             self.connectors,
             partition_specs=deployment.partition_specs,
         )
-        self.optimizer = LogicalOptimizer(self.catalog, plan_shape=plan_shape)
+        #: the persistent Q-Error store (None keeps the loop off)
+        if feedback is None and feedback_path is not None:
+            feedback = FeedbackStore(path=feedback_path)
+        self.feedback = feedback
+        self.feedback_overlay = (
+            FeedbackOverlay(feedback) if feedback is not None else None
+        )
+        self.optimizer = LogicalOptimizer(
+            self.catalog,
+            plan_shape=plan_shape,
+            feedback=self.feedback_overlay,
+        )
         self.annotator = PlanAnnotator(
             self.connectors,
             deployment.network,
@@ -301,7 +253,27 @@ class XDB:
         #: live PreparedQuery handles, so drift recovery can invalidate
         #: prepared plans that scan a re-introspected table
         self._prepared: "weakref.WeakSet[PreparedQuery]" = weakref.WeakSet()
-        self._metadata_fresh = False
+        #: the re-enterable planning pipeline every submission runs on
+        self.pipeline = PlanPipeline(
+            deployment,
+            self.catalog,
+            self.optimizer,
+            self.annotator,
+            self.finalizer,
+            self.delegator,
+            repair_budget=repair_budget,
+            feedback=feedback,
+            adaptivity_threshold=adaptivity_threshold,
+            on_drift=self._invalidate_prepared,
+        )
+
+    @property
+    def _metadata_fresh(self) -> bool:
+        return self.pipeline.metadata_fresh
+
+    @_metadata_fresh.setter
+    def _metadata_fresh(self, value: bool) -> None:
+        self.pipeline.metadata_fresh = value
 
     # -- public API --------------------------------------------------------------
 
@@ -340,278 +312,14 @@ class XDB:
             self.reaper.sweep_pending()
         except ReproError:
             pass
-        network = self.deployment.network
-        health = self.deployment.health
-        gate = self.deployment.workload_gate
         priority = qos.priority if qos is not None else PRIORITY_NORMAL
-        recovery = RecoveryReport()
-        budget = self.repair_budget
-        label = query if isinstance(query, str) else "<ast>"
-        ctx = QueryContext(label=label, qos=qos)
+        state = self.pipeline.new_state(query, budget=self.repair_budget)
+        ctx = QueryContext(label=state.label, qos=qos)
         with ctx:
-            tracer = ctx.tracer
-
-            # --- prep: parse + gather metadata through the connectors ---
-            with tracer.span("prep", kind="phase") as prep_span:
-                ctx.enter_phase("prep")
-                with tracer.span("parse", kind="step"):
-                    select = self._parse(query)
-                if refresh_metadata or not self._metadata_fresh:
-                    with tracer.span("catalog-refresh", kind="step"):
-                        self.catalog.refresh()
-                    self._metadata_fresh = True
-
-            # --- lopt: logical optimization (pure middleware CPU) -------
-            with tracer.span("lopt", kind="phase") as lopt_span:
-                ctx.enter_phase("lopt")
-                with tracer.span("optimize", kind="step"):
-                    logical_plan = self.optimizer.optimize(select)
-
-            # --- ann: plan annotation + finalization (consulting) -------
-            with tracer.span("ann", kind="phase") as ann_span:
-                ctx.enter_phase("ann")
-                while True:
-                    try:
-                        with tracer.span("annotate", kind="step"):
-                            annotation = self.annotator.annotate(
-                                logical_plan
-                            )
-                        with tracer.span("finalize", kind="step"):
-                            dplan = self.finalizer.finalize(
-                                logical_plan, annotation
-                            )
-                        break
-                    except EngineUnavailableError as exc:
-                        db = self._unavailable_db(exc)
-                        if db is None or budget <= 0:
-                            raise
-                        budget -= 1
-                        recovery.repair_attempts += 1
-                        recovery.repaired_dbs.append(db)
-                        tracer.add_event("repair", db=db, phase="ann")
-                        health.report_outage(
-                            db, "annotation-time consultation failed"
-                        )
-                recovery.placement_before = self._placement(dplan)
-
-            # --- exec: delegation DDL + decentralized execution ----------
-            lease = None
-            deployed = None
-            try:
-                with tracer.span("exec", kind="phase") as exec_span:
-                    repair_start: Optional[Tuple[float, float]] = None
-                    while True:
-                        deployed = None
-                        try:
-                            if dplan is None:
-                                # Re-plan around the outage: the annotator
-                                # now sees the open breaker, so replicated
-                                # tables land on a healthy holder and Rule 4
-                                # drops the dead candidate.
-                                with tracer.span("annotate", kind="step"):
-                                    annotation = self.annotator.annotate(
-                                        logical_plan
-                                    )
-                                with tracer.span("finalize", kind="step"):
-                                    dplan = self.finalizer.finalize(
-                                        logical_plan, annotation
-                                    )
-                            # Lazy drift verification: once per table
-                            # per catalog epoch.  A refresh pre-marks
-                            # everything it read, so the common case is
-                            # an empty list — no span, no engine calls.
-                            pending = self.catalog.unverified(
-                                self._placement(dplan)
-                            )
-                            if pending:
-                                with tracer.span("verify", kind="step"):
-                                    for vdb, vtable in pending:
-                                        self.catalog.verify_table(
-                                            vdb, vtable
-                                        )
-                            engines = sorted(
-                                {
-                                    task.annotation
-                                    for task in dplan.tasks.values()
-                                }
-                            )
-                            if lease is not None and set(
-                                lease.engines
-                            ) != set(engines):
-                                # The repaired plan routes around the
-                                # outage onto a different engine set:
-                                # swap the admission tokens to match.
-                                lease.release()
-                                lease = None
-                            if lease is None:
-                                ctx.enter_phase("admission")
-                                with tracer.span("admit", kind="step"):
-                                    lease = gate.acquire(
-                                        engines,
-                                        priority=priority,
-                                        deadline=ctx.deadline,
-                                    )
-                                    ctx.record_admission(lease)
-                            ctx.enter_phase("delegate")
-                            with tracer.span("delegate", kind="step"):
-                                deployed = self.delegator.delegate(dplan)
-                            root_connector = self.connectors[
-                                deployed.root_db
-                            ]
-                            ctx.enter_phase("execute")
-                            with tracer.span("execute", kind="step"):
-                                result = root_connector.run_query(
-                                    deployed.xdb_query,
-                                    self.deployment.client_node,
-                                )
-                            if ctx.deadline is not None:
-                                # A result that lands after the deadline
-                                # is a miss, not a success: cancel it.
-                                ctx.deadline.check(
-                                    "execute", detail="post-execution"
-                                )
-                            break
-                        except SchemaDriftError as drift:
-                            if budget <= 0:
-                                raise
-                            budget -= 1
-                            if repair_start is None:
-                                repair_start = (wall_now(), tracer.sim_now)
-                            if deployed is not None:
-                                try:
-                                    deployed.cleanup()
-                                except ReproError:
-                                    pass
-                            logical_plan = self._recover_drift(
-                                select, drift, recovery, tracer
-                            )
-                            dplan = None
-                        except (
-                            EngineUnavailableError,
-                            DelegationError,
-                        ) as exc:
-                            # A delegation failure whose cause chain is
-                            # schema-shaped (bind/type/catalog) may be a
-                            # drifted remote table rather than an
-                            # outage: force-verify the placed tables
-                            # and, if one drifted, take the drift
-                            # recovery path instead of plan repair.
-                            drift = self._sniff_drift(exc, dplan)
-                            if drift is not None:
-                                if budget <= 0:
-                                    raise drift from exc
-                                budget -= 1
-                                if repair_start is None:
-                                    repair_start = (
-                                        wall_now(),
-                                        tracer.sim_now,
-                                    )
-                                if deployed is not None:
-                                    try:
-                                        deployed.cleanup()
-                                    except ReproError:
-                                        pass
-                                logical_plan = self._recover_drift(
-                                    select, drift, recovery, tracer
-                                )
-                                dplan = None
-                                continue
-                            db = self._unavailable_db(exc)
-                            if db is None or budget <= 0:
-                                raise
-                            budget -= 1
-                            recovery.repair_attempts += 1
-                            recovery.repaired_dbs.append(db)
-                            if repair_start is None:
-                                repair_start = (wall_now(), tracer.sim_now)
-                            tracer.add_event("repair", db=db, phase="exec")
-                            # Trip the breaker FIRST so the best-effort
-                            # cleanup of the partial deployment fails fast
-                            # on the dead engine instead of burning its
-                            # retry budget per object.
-                            health.report_outage(db, "execution failed")
-                            if deployed is not None:
-                                try:
-                                    deployed.cleanup()
-                                except ReproError:
-                                    pass
-                            dplan = None
-                        except (
-                            BindError,
-                            TypeCheckError,
-                            CatalogError,
-                        ) as exc:
-                            # The root XDB query can hit the drifted
-                            # table directly (no DDL cascade to wrap
-                            # the failure in a DelegationError): a raw
-                            # bind/type/catalog error here gets the
-                            # same sniff before propagating.
-                            drift = self._sniff_drift(exc, dplan)
-                            if drift is None or budget <= 0:
-                                raise
-                            budget -= 1
-                            if repair_start is None:
-                                repair_start = (wall_now(), tracer.sim_now)
-                            if deployed is not None:
-                                try:
-                                    deployed.cleanup()
-                                except ReproError:
-                                    pass
-                            logical_plan = self._recover_drift(
-                                select, drift, recovery, tracer
-                            )
-                            dplan = None
-                    if repair_start is not None:
-                        repair_wall, repair_sim = repair_start
-                        recovery.repair_seconds = (
-                            (wall_now() - repair_wall)
-                            + (tracer.sim_now - repair_sim)
-                        )
-                    recovery.placement = self._placement(dplan)
-                    attribute_edge_stats(
-                        deployed, exec_span.subtree_records()
-                    )
-                    with tracer.span("schedule", kind="step"):
-                        schedule = simulate_schedule(
-                            deployed,
-                            self.connectors,
-                            network,
-                            self.deployment.client_node,
-                            result_bytes=result.byte_size(),
-                            worker_slots=_slots(self.deployment),
-                        )
-
-                # Middleware CPU during exec is not on the critical path
-                # (the DBMSes run decentrally); control messages are, and
-                # so are simulated retry backoff spent on the DDL cascade
-                # and any repair-time re-consultations — all read off the
-                # exec span's subtree.
-                exec_seconds = (
-                    schedule.total_seconds
-                    + ctx.control_seconds(exec_span)
-                    + ctx.backoff_in(exec_span)
-                )
-                transfers = ctx.transfer_summary(exec_span)
-                recovery.breaker_transitions = list(ctx.breaker_events)
-
-                # Cleanup runs outside the exec span (its drops are not
-                # part of the execution window's transfer summary) but
-                # still under the admission lease, and — with a deadline
-                # — under the grace budget, so a query that *met* its
-                # deadline cannot fail while tearing itself down.
-                ctx.current_phase = "cleanup"
-                if cleanup:
-                    if ctx.deadline is not None:
-                        with ctx.deadline.grace():
-                            deployed.cleanup()
-                    else:
-                        deployed.cleanup()
-            except DeadlineExceeded as exc:
-                self._cancel_deployment(ctx, deployed, exc)
-                raise
-            finally:
-                if lease is not None:
-                    lease.release()
+            prep_span, lopt_span, ann_span = self.pipeline.plan(
+                state, ctx, refresh_metadata=refresh_metadata
+            )
+            self.pipeline.execute(state, ctx, cleanup=cleanup, qos=qos)
 
             qos_report = None
             if qos is not None:
@@ -625,31 +333,30 @@ class XDB:
                     ),
                     admission_wait_seconds=ctx.admission_wait_seconds,
                     admission_sim_seconds=ctx.admission_sim_seconds,
-                    admitted_engines=(
-                        list(lease.engines) if lease is not None else []
-                    ),
+                    admitted_engines=list(state.admitted_engines),
                 )
 
             resilience = ctx.resilience_summary(self.connectors)
             resilience.leaked_objects = self.ledger.leaked_count()
             report = XDBReport(
-                result=result,
-                plan=dplan,
-                deployed=deployed,
-                annotation=annotation,
-                schedule=schedule,
+                result=state.result,
+                plan=state.dplan,
+                deployed=state.deployed,
+                annotation=state.annotation,
+                schedule=state.schedule,
                 phases={
                     "prep": ctx.phase_seconds(prep_span),
                     "lopt": ctx.phase_seconds(lopt_span),
                     "ann": ctx.phase_seconds(ann_span),
-                    "exec": exec_seconds,
+                    "exec": state.exec_seconds,
                 },
-                transfers=transfers,
-                consultations=annotation.consultations,
+                transfers=state.transfers,
+                consultations=state.annotation.consultations,
                 resilience=resilience,
-                recovery=recovery,
+                recovery=state.recovery,
                 context=ctx,
                 qos=qos_report,
+                feedback=list(state.observations),
             )
         return report
 
@@ -664,148 +371,11 @@ class XDB:
         """
         return self.reaper.sweep(dbs)
 
-    # -- drift recovery -------------------------------------------------------------
-
-    def _recover_drift(
-        self,
-        select: ast.Statement,
-        drift: SchemaDriftError,
-        recovery: RecoveryReport,
-        tracer,
-    ):
-        """Absorb one detected drift: re-introspect, invalidate, replan.
-
-        Returns the fresh logical plan.  When replanning still fails —
-        e.g. a drifted replica now diverges from its siblings, or the
-        table vanished and only this holder had it — the table is
-        quarantined (placement avoids it like a dead holder) and the
-        replan is retried once; a second failure propagates.
-        """
-        recovery.drift_events += 1
-        key = (drift.db, drift.table)
-        if key not in recovery.drifted_tables:
-            recovery.drifted_tables.append(key)
-        tracer.add_event(
-            "schema-drift",
-            db=drift.db,
-            table=drift.table,
-            diff=drift.diff_summary(),
-        )
-        with tracer.span("reintrospect", kind="step"):
-            adopted = self.catalog.reintrospect(drift.db, drift.table)
-        self._invalidate_prepared(drift.db, drift.table)
-        try:
-            with tracer.span("optimize", kind="step"):
-                return self.optimizer.optimize(select)
-        except ReproError:
-            if adopted is not None:
-                self.catalog.quarantine(drift.db, drift.table)
-            recovery.quarantined.append(key)
-            tracer.add_event(
-                "quarantine", db=drift.db, table=drift.table
-            )
-            try:
-                with tracer.span("optimize", kind="step"):
-                    return self.optimizer.optimize(select)
-            except ReproError as replan_exc:
-                # Even with the drifted holder out of the way the
-                # query cannot bind (the table vanished everywhere,
-                # or it referenced a now-renamed column): surface
-                # the structured drift error, not the planner's.
-                drift.quarantined = True
-                raise drift from replan_exc
-
-    def _sniff_drift(
-        self, exc: BaseException, dplan: Optional[DelegationPlan]
-    ) -> Optional[SchemaDriftError]:
-        """Check whether a schema-shaped failure traces back to drift.
-
-        Only failures whose cause chain contains a bind/type/catalog
-        error are sniffed — transient giveups and outages never touch
-        the fingerprint path, so their fault schedules are unchanged.
-        The sniff force-verifies each placed table and returns the
-        first drift found (None when the schemas all still match).
-        """
-        if dplan is None or not self._schema_shaped(exc):
-            return None
-        for table, db in sorted(self._placement(dplan).items()):
-            try:
-                self.catalog.verify_table(db, table, force=True)
-            except SchemaDriftError as drift:
-                return drift
-            except ReproError:
-                continue
-        return None
-
-    @staticmethod
-    def _schema_shaped(exc: BaseException) -> bool:
-        """Whether a failure's cause chain smells like schema drift."""
-        seen = set()
-        node: Optional[BaseException] = exc
-        while node is not None and id(node) not in seen:
-            seen.add(id(node))
-            if isinstance(
-                node, (BindError, TypeCheckError, CatalogError)
-            ):
-                return True
-            node = node.__cause__ or node.__context__
-        return False
-
-    def _invalidate_prepared(self, db: str, table: str) -> None:
-        """Mark prepared queries scanning ``db.table`` as stale."""
-        for prepared in list(self._prepared):
-            prepared._note_drift(db, table)
-
-    @staticmethod
-    def _cancel_deployment(
-        ctx: QueryContext,
-        deployed: Optional[DeployedQuery],
-        exc: DeadlineExceeded,
-    ) -> None:
-        """Cooperative cancellation: tear down a deployed cascade after
-        deadline expiry, under the grace budget, and fold the rollback
-        accounting into the structured error.
-
-        ``deployed`` is None when the expiry struck *inside* the
-        delegation engine — that path already rolled itself back and
-        stamped the error; here we only handle expiry after delegation
-        completed (during execution or post-execution checks).
-        """
-        if deployed is None:
-            return
-        before = list(deployed.created_objects)
-        try:
-            if ctx.deadline is not None:
-                with ctx.deadline.grace():
-                    deployed.cleanup()
-            else:
-                deployed.cleanup()
-        except ReproError:
-            # cleanup() already kept the undropped objects queued;
-            # the leak accounting below reads them off the deployment.
-            pass
-        remaining = list(deployed.created_objects)
-        exc.rolled_back = list(exc.rolled_back) + [
-            obj for obj in before if obj not in remaining
-        ]
-        exc.leaked = list(exc.leaked) + remaining
-        ctx.tracer.add_event(
-            "deadline-cancelled",
-            phase=exc.phase,
-            rolled_back=len(exc.rolled_back),
-            leaked=len(exc.leaked),
-        )
-
     def explain(self, query: Union[str, ast.Select]) -> str:
         """Produce the delegation plan (Table IV style) without executing."""
-        select = self._parse(query)
-        if not self._metadata_fresh:
-            self.catalog.refresh()
-            self._metadata_fresh = True
-        logical_plan = self.optimizer.optimize(select)
-        annotation = self.annotator.annotate(logical_plan)
-        dplan = self.finalizer.finalize(logical_plan, annotation)
-        return dplan.describe()
+        state = self.pipeline.new_state(query, budget=0)
+        self.pipeline.plan_offline(state)
+        return state.dplan.describe()
 
     def explain_analyze(
         self,
@@ -816,9 +386,11 @@ class XDB:
         """Run the query and render its observed span tree.
 
         The cross-database analogue of ``EXPLAIN ANALYZE``: submits the
-        query, then prints the phase breakdown and every span (engine
+        query, then prints the phase breakdown, every span (engine
         calls, DDL statements, operator cardinalities, schedule tasks)
-        with its wall/simulated timings.
+        with its wall/simulated timings, and the per-operator Q-Error
+        table — estimated vs actual rows, worst miss flagged as the
+        planning locus with its routed rewrite hypothesis.
         """
         report = self.submit(
             query, cleanup=cleanup, refresh_metadata=refresh_metadata
@@ -829,13 +401,9 @@ class XDB:
         self, query: Union[str, ast.Select]
     ) -> DelegationPlan:
         """Optimize + annotate + finalize, returning the delegation plan."""
-        select = self._parse(query)
-        if not self._metadata_fresh:
-            self.catalog.refresh()
-            self._metadata_fresh = True
-        logical_plan = self.optimizer.optimize(select)
-        annotation = self.annotator.annotate(logical_plan)
-        return self.finalizer.finalize(logical_plan, annotation)
+        state = self.pipeline.new_state(query, budget=0)
+        self.pipeline.plan_offline(state)
+        return state.dplan
 
     def prepare(self, query: Union[str, ast.Select]) -> "PreparedQuery":
         """Optimize + delegate once; execute many times on fresh data.
@@ -847,76 +415,46 @@ class XDB:
         (the paper's "ad-hoc queries on fresh data" motivation without
         re-planning).
         """
-        select = self._parse(query)
-        if not self._metadata_fresh:
-            self.catalog.refresh()
-            self._metadata_fresh = True
-        logical_plan = self.optimizer.optimize(select)
-        annotation = self.annotator.annotate(logical_plan)
-        dplan = self.finalizer.finalize(logical_plan, annotation)
-        deployed = self.delegator.delegate(dplan)
-        prepared = PreparedQuery(self, deployed, select=select)
+        state = self.pipeline.new_state(query, budget=0)
+        self.pipeline.plan_offline(state)
+        deployed = self.delegator.delegate(state.dplan)
+        prepared = PreparedQuery(
+            self, deployed, select=state.select, label=state.label
+        )
         self._prepared.add(prepared)
         return prepared
 
     def invalidate_metadata(self) -> None:
-        self._metadata_fresh = False
+        self.pipeline.metadata_fresh = False
 
     def warm_metadata(self) -> None:
         """Gather global-catalog metadata ahead of time (benchmarks)."""
         self.catalog.refresh()
-        self._metadata_fresh = True
+        self.pipeline.metadata_fresh = True
 
     # -- internals ------------------------------------------------------------------
 
+    def _invalidate_prepared(self, db: str, table: str) -> None:
+        """Mark prepared queries scanning ``db.table`` as stale."""
+        for prepared in list(self._prepared):
+            prepared._note_drift(db, table)
+
+    def _sniff_drift(
+        self, exc: BaseException, dplan: Optional[DelegationPlan]
+    ) -> Optional[SchemaDriftError]:
+        return self.pipeline.sniff_drift(exc, dplan)
+
     @staticmethod
     def _parse(query: Union[str, ast.Select]) -> ast.Statement:
-        if isinstance(query, ast.QUERY_STATEMENTS):
-            return query
-        statement = parse_statement(query)
-        if not isinstance(statement, ast.QUERY_STATEMENTS):
-            raise OptimizerError(
-                "XDB accepts analytical SELECT / UNION ALL queries only"
-            )
-        return statement
+        return PlanPipeline.parse(query)
 
     @staticmethod
     def _placement(dplan: DelegationPlan) -> Dict[str, str]:
-        """Base table → DBMS map for the recovery placement diff.
-
-        Keyed by scanned table rather than task: a repaired plan may
-        merge or split tasks (co-location changes when a replica holder
-        takes over), so task identities do not survive re-planning but
-        table names do.
-        """
-        placement: Dict[str, str] = {}
-        for task in dplan.tasks.values():
-            for scan in task.expr.leaves():
-                if not scan.placeholder:
-                    placement[scan.table] = task.annotation
-        return placement
+        return PlanPipeline.placement(dplan)
 
     @staticmethod
     def _unavailable_db(exc: BaseException) -> Optional[str]:
-        """Which DBMS an outage exception blames, if repairable.
-
-        Walks the ``__cause__``/``__context__`` chain for an
-        :class:`EngineUnavailableError` carrying a DBMS name (a
-        :class:`DelegationError` wraps the original connector error).
-        Returns None for unrepairable failures: an
-        ``EngineUnavailableError`` with ``db=None`` means every holder
-        of some table is down, and a failure with *no* engine-outage in
-        its chain (e.g. a transient fault that exhausted the retry
-        budget) is not an outage — re-planning cannot help either way.
-        """
-        seen = set()
-        node: Optional[BaseException] = exc
-        while node is not None and id(node) not in seen:
-            seen.add(id(node))
-            if isinstance(node, EngineUnavailableError):
-                return node.db
-            node = node.__cause__ or node.__context__
-        return None
+        return PlanPipeline.unavailable_db(exc)
 
 
 class PreparedQuery:
@@ -935,18 +473,26 @@ class PreparedQuery:
         xdb: XDB,
         deployed: DeployedQuery,
         select: Optional[ast.Statement] = None,
+        label: str = "",
     ):
         self._xdb = xdb
         self.deployed = deployed
-        #: the source query AST, kept so schema drift can trigger a
-        #: full replan (re-optimize + re-delegate) of this handle
+        #: the source query AST, kept so schema drift (or a blown
+        #: estimate) can trigger a full replan of this handle
         self._select = select
+        #: the source SQL text — prepared contexts used to label every
+        #: span "prepared"; now they carry the actual query
+        self._label = label
         self.executions = 0
         self._closed = False
         #: set when the catalog learned a table this plan scans has
         #: drifted — the next execute replans (or serves a bounded
         #: stale read) instead of running the stale cascade
         self._stale_plan = False
+        #: set when the last execution's Q-Error blew the threshold —
+        #: the next execute replans against the warmed feedback store
+        #: (the learned cardinalities re-steer the join-order DP)
+        self._estimates_blown = False
         #: executions counted at the current deployment's creation —
         #: the first run after (re)delegation uses the CTAS snapshots
         self._deploy_execution = 0
@@ -1014,6 +560,12 @@ class PreparedQuery:
         from the existing snapshots (``report.qos.stale_reason ==
         "drift"``) or replans end to end: re-optimize, re-delegate,
         swap the deployed cascade, and retry.
+
+        Cardinality feedback: when the client carries a feedback store
+        and an execution's worst Q-Error blows the adaptivity
+        threshold, the *next* execute replans the same way — this time
+        the optimizer's estimators run under the learned cardinalities,
+        so the replanned cascade reflects observed row counts.
         """
         if self._closed:
             raise OptimizerError("prepared query is closed")
@@ -1037,6 +589,11 @@ class PreparedQuery:
                         # (the drifted table feeds a view): replan.
                         pass
                 self._replan()
+            elif self._estimates_blown and self._select is not None:
+                # The warmed feedback store holds the corrected
+                # cardinalities; re-enter the pipeline at optimize.
+                self._replan()
+                recovery.adaptations += 1
             try:
                 report = self._execute_once(qos, prefer_stale=False)
             except SchemaDriftError as drift:
@@ -1052,7 +609,7 @@ class PreparedQuery:
                 budget -= 1
                 self._absorb_drift(drift, recovery)
                 continue
-            if recovery.drifted:
+            if recovery.drifted or recovery.adapted:
                 report.recovery = recovery
             return report
 
@@ -1065,11 +622,16 @@ class PreparedQuery:
         if key not in recovery.drifted_tables:
             recovery.drifted_tables.append(key)
         self._xdb.catalog.reintrospect(drift.db, drift.table)
+        if self._xdb.feedback is not None:
+            self._xdb.feedback.invalidate_table(drift.db, drift.table)
         self._stale_plan = True
 
     def _replan(self) -> None:
         """Re-optimize and re-delegate against the refreshed catalog.
 
+        Re-enters the planning pipeline at the ``optimize`` stage (the
+        catalog refresh is deliberately skipped — the prepared handle
+        trusts its catalog, which drift recovery already refreshed).
         Swaps in the fresh cascade before tearing down the old one, so
         a failing replan leaves the previous deployment intact (still
         executable for staleness-bounded reads).
@@ -1080,13 +642,15 @@ class PreparedQuery:
                 "prepared query is stale after schema drift and kept no "
                 "source query to replan from"
             )
-        logical_plan = xdb.optimizer.optimize(self._select)
-        annotation = xdb.annotator.annotate(logical_plan)
-        dplan = xdb.finalizer.finalize(logical_plan, annotation)
-        fresh = xdb.delegator.delegate(dplan)
+        state = xdb.pipeline.new_state(self._select, budget=0)
+        state.select = self._select
+        state.stage = "optimize"
+        xdb.pipeline.plan_offline(state)
+        fresh = xdb.delegator.delegate(state.dplan)
         old = self.deployed
         self.deployed = fresh
         self._stale_plan = False
+        self._estimates_blown = False
         self._deploy_execution = self.executions
         self._refreshed_at = xdb.deployment.health.clock.now()
         try:
@@ -1104,7 +668,7 @@ class PreparedQuery:
         health = self._xdb.deployment.health
         gate = self._xdb.deployment.workload_gate
         priority = qos.priority if qos is not None else PRIORITY_NORMAL
-        ctx = QueryContext(label="prepared", qos=qos)
+        ctx = QueryContext(label=self._label or "prepared", qos=qos)
         stale_read = prefer_stale
         stale_reason = "drift" if prefer_stale else ""
         with ctx:
@@ -1203,6 +767,27 @@ class PreparedQuery:
                             result_bytes=result.byte_size(),
                             worker_slots=_slots(self._xdb.deployment),
                         )
+                    observations = harvest_execution(
+                        self.deployed.plan,
+                        exec_span,
+                        self._xdb.catalog,
+                        len(result.rows),
+                    )
+                    if self._xdb.feedback is not None and observations:
+                        with tracer.span("harvest", kind="step"):
+                            self._xdb.feedback.observe_many(observations)
+                        threshold = (
+                            self._xdb.pipeline.adaptivity_threshold
+                            if self._xdb.pipeline.adaptivity_threshold
+                            is not None
+                            else 2.0
+                        )
+                        worst = max(
+                            (obs.q_error for obs in observations),
+                            default=1.0,
+                        )
+                        if worst > threshold and self._select is not None:
+                            self._estimates_blown = True
             finally:
                 if lease is not None:
                     lease.release()
@@ -1253,6 +838,7 @@ class PreparedQuery:
                 resilience=resilience,
                 context=ctx,
                 qos=qos_report,
+                feedback=observations,
             )
         return report
 

@@ -66,6 +66,10 @@ class DeployedQuery:
     #: whatever a failed drop leaves behind
     ledger: Optional[ObjectLedger] = None
     epoch: int = 0
+    #: namespaced epoch prefix baked into every object name — mid-query
+    #: adaptation reconstructs ``xm_{query_id}_{task_id}`` from it when
+    #: pinning executed producers
+    query_id: str = ""
     _connectors: Mapping[str, DBMSConnector] = field(
         repr=False, default_factory=dict
     )
@@ -233,6 +237,7 @@ class DelegationEngine:
             materializations=materializations,
             ledger=self._ledger,
             epoch=epoch,
+            query_id=query_id,
             _connectors=self._connectors,
         )
 

@@ -49,7 +49,9 @@ class PlanFinalizer:
         db = annotation.db_of(root)
         deps: List[Tuple[Task, Movement, str]] = []
         expr, _ = self._rebuild(root, db, annotation, dplan, deps)
-        task = dplan.new_task(db, expr, root.estimated_rows or 0.0)
+        task = dplan.new_task(
+            db, expr, root.estimated_rows or 0.0, source_expr=root
+        )
         for child_task, movement, placeholder in deps:
             dplan.add_edge(child_task, task, movement, placeholder)
         return task

@@ -9,6 +9,8 @@ estimated cardinality (the annotator's Rule 4 consumes them).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.catalog import GlobalCatalog
 from repro.core.partition import expand_partitions
 from repro.engine.cost import CardinalityEstimator
@@ -28,11 +30,22 @@ class LogicalOptimizer:
     ``plan_shape`` selects the join-ordering search space: the paper
     restricts itself to left-deep trees; ``"bushy"`` enables the full
     DP the authors defer to future work (§IV-B footnote 5).
+
+    ``feedback`` (a :class:`repro.feedback.store.FeedbackOverlay` or
+    None) overlays learned cardinalities on every estimator this
+    optimizer builds, so a replanned query searches the join-order
+    space with observed row counts instead of the catalog's model.
     """
 
-    def __init__(self, catalog: GlobalCatalog, plan_shape: str = "left-deep"):
+    def __init__(
+        self,
+        catalog: GlobalCatalog,
+        plan_shape: str = "left-deep",
+        feedback: Optional[object] = None,
+    ):
         self._catalog = catalog
         self._plan_shape = plan_shape
+        self.feedback = feedback
 
     def optimize(self, query: ast.Select) -> algebra.LogicalPlan:
         """Bind ``query`` and apply the Phase-1 rewrites."""
@@ -43,7 +56,9 @@ class LogicalOptimizer:
         self, plan: algebra.LogicalPlan
     ) -> algebra.LogicalPlan:
         plan = push_filters(plan)
-        estimator = CardinalityEstimator(self._catalog.scan_stats)
+        estimator = CardinalityEstimator(
+            self._catalog.scan_stats, feedback=self.feedback
+        )
         plan = reorder_joins(
             plan,
             cardinality=estimator.estimate_rows,
@@ -64,7 +79,9 @@ class LogicalOptimizer:
             )
         # A fresh estimator pass annotates every node of the final tree
         # with its cardinality (the rewrites rebuilt the nodes).
-        final_estimator = CardinalityEstimator(self._catalog.scan_stats)
+        final_estimator = CardinalityEstimator(
+            self._catalog.scan_stats, feedback=self.feedback
+        )
         final_estimator.estimate_rows(plan)
         _annotate_all(plan, final_estimator)
         return plan

@@ -1,0 +1,1050 @@
+"""The re-enterable planning pipeline (parse → … → execute).
+
+One submission used to be a ~350-line monolith in ``XDB.submit``, with
+the annotate/finalize repair loop copy-pasted into drift recovery and
+the prepared-query replan.  This module folds all of it into a single
+:class:`PlanPipeline` over an explicit, typed :class:`PlanState`:
+
+    parse → catalog → optimize → annotate → finalize → delegate → execute
+
+Every stage writes its output onto the state and advances
+``state.stage``; re-running the pipeline skips completed stages.  All
+three recovery flavours become *stage re-entry within the repair
+budget*:
+
+* **outage repair** re-enters at ``annotate`` (the annotator sees the
+  open breaker and routes replicated tables to a surviving holder);
+* **schema drift** re-enters at ``optimize`` (the catalog re-adopted
+  the live schema, so the plan must be rebuilt from the source query);
+* **blown estimates** (new — the Q-Error loop) re-enter at
+  ``annotate`` with the already-materialized producer tasks pinned as
+  scans of their ``xm_`` snapshots, so only the *unexecuted suffix* of
+  the plan is re-annotated and re-delegated.
+
+The pipeline also closes the cardinality-feedback loop: after every
+execution it harvests (estimate, actual) pairs from the delegation
+plan's edge statistics and the operator spans, and — when the client
+carries a :class:`~repro.feedback.store.FeedbackStore` — persists them
+so the next optimization of an equivalent subexpression runs on
+observed row counts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.annotate import Annotation, PlanAnnotator
+from repro.core.catalog import GlobalCatalog
+from repro.core.delegate import DelegationEngine, DeployedQuery
+from repro.core.finalize import PlanFinalizer
+from repro.core.logical import LogicalOptimizer
+from repro.core.plan import DelegationPlan, Movement
+from repro.core.timing import (
+    ScheduleResult,
+    attribute_edge_stats,
+    simulate_schedule,
+)
+from repro.engine.cost import CardinalityEstimator
+from repro.engine.result import Result
+from repro.errors import (
+    BindError,
+    CatalogError,
+    DeadlineExceeded,
+    DelegationError,
+    EngineUnavailableError,
+    OptimizerError,
+    ReproError,
+    SchemaDriftError,
+    TypeCheckError,
+)
+from repro.federation.deployment import Deployment
+from repro.feedback import qerror
+from repro.feedback.harvest import harvest_execution
+from repro.feedback.store import FeedbackOverlay, FeedbackStore, Observation
+from repro.health import BreakerEvent
+from repro.net.metrics import TransferSummary
+from repro.obs.clock import wall_now
+from repro.obs.context import QueryContext
+from repro.qos import PRIORITY_NORMAL, QoSPolicy
+from repro.relational import algebra
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.render import render
+
+#: The pipeline's stages, in order.  ``PlanState.stage`` names the next
+#: stage to run; re-entry means resetting it to an earlier stage and
+#: running the pipeline again.
+STAGES = (
+    "parse",
+    "catalog",
+    "optimize",
+    "annotate",
+    "finalize",
+    "delegate",
+    "execute",
+)
+
+
+def _stage_index(stage: str) -> int:
+    try:
+        return STAGES.index(stage)
+    except ValueError:
+        raise OptimizerError(
+            f"unknown pipeline stage {stage!r} (expected one of {STAGES})"
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What the self-healing layer did for one submission.
+
+    Present on every report; :attr:`repaired` distinguishes the common
+    untouched case from submissions the plan-repair loop had to
+    re-annotate around an engine outage.
+    """
+
+    #: how many times the repair loop re-planned (0 = no repair needed)
+    repair_attempts: int = 0
+    #: DBMSes reported to the health registry as down, in repair order
+    repaired_dbs: List[str] = field(default_factory=list)
+    #: simulated + CPU seconds spent from first failure to repaired run
+    repair_seconds: float = 0.0
+    #: circuit-breaker transitions recorded during this submission
+    breaker_transitions: List[BreakerEvent] = field(default_factory=list)
+    #: where each base table's scan ran in the first finalized plan
+    #: (table → DBMS) — keyed by table, not task, because a repaired
+    #: plan may group operators into different tasks entirely
+    placement_before: Dict[str, str] = field(default_factory=dict)
+    #: scan placement of the plan that actually produced the result
+    placement: Dict[str, str] = field(default_factory=dict)
+    #: schema drifts absorbed (re-introspect + replan) this submission
+    drift_events: int = 0
+    #: (db, table) pairs whose drift was absorbed, in detection order
+    drifted_tables: List[Tuple[str, str]] = field(default_factory=list)
+    #: (db, table) pairs quarantined as unreconcilable this submission
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    #: mid-query adaptations: suffix replans off a blown estimate
+    adaptations: int = 0
+    #: (task_id, q_error) pairs that tripped the adaptivity threshold
+    blown_estimates: List[Tuple[int, float]] = field(default_factory=list)
+    #: producer tasks whose materializations were pinned during
+    #: adaptation (their snapshots were reused, not recomputed)
+    pinned_tasks: List[int] = field(default_factory=list)
+
+    @property
+    def repaired(self) -> bool:
+        return self.repair_attempts > 0
+
+    @property
+    def drifted(self) -> bool:
+        return self.drift_events > 0
+
+    @property
+    def adapted(self) -> bool:
+        return self.adaptations > 0
+
+    def placement_diff(self) -> Dict[str, Tuple[str, str]]:
+        """Tables whose scan moved: table → (old DBMS, new DBMS)."""
+        diff: Dict[str, Tuple[str, str]] = {}
+        for table, db in self.placement.items():
+            before = self.placement_before.get(table)
+            if before is not None and before != db:
+                diff[table] = (before, db)
+        return diff
+
+    def describe(self) -> str:
+        if not self.repaired and not self.drifted and not self.adapted:
+            return "no repair needed"
+        parts = []
+        if self.repaired:
+            moved = ", ".join(
+                f"{table}: {old}→{new}"
+                for table, (old, new) in sorted(
+                    self.placement_diff().items()
+                )
+            )
+            parts.append(
+                f"{self.repair_attempts} repair(s) around "
+                f"{sorted(set(self.repaired_dbs))} in "
+                f"{self.repair_seconds:.3f}s"
+                + (f"; moved {moved}" if moved else "")
+            )
+        if self.drifted:
+            drifted = ", ".join(
+                f"{db}.{table}" for db, table in self.drifted_tables
+            )
+            line = f"{self.drift_events} drift(s) absorbed on {drifted}"
+            if not self.repaired:
+                line += f" in {self.repair_seconds:.3f}s"
+            if self.quarantined:
+                line += "; quarantined " + ", ".join(
+                    f"{db}.{table}" for db, table in self.quarantined
+                )
+            parts.append(line)
+        if self.adapted:
+            if self.blown_estimates or self.pinned_tasks:
+                worst = max(
+                    (q for _, q in self.blown_estimates), default=0.0
+                )
+                worst_text = (
+                    "inf" if worst == qerror.INFINITE else f"{worst:.1f}"
+                )
+                parts.append(
+                    f"{self.adaptations} mid-query adaptation(s) "
+                    f"(worst Q-Error {worst_text}; pinned tasks "
+                    f"{sorted(self.pinned_tasks)})"
+                )
+            else:
+                # A prepared handle replanned between executions off
+                # the warmed feedback store — no mid-query pinning.
+                parts.append(
+                    f"{self.adaptations} feedback replan(s) "
+                    f"(learned cardinalities)"
+                )
+        return "; ".join(parts)
+
+
+@dataclass
+class PlanState:
+    """Everything one submission carries between pipeline stages."""
+
+    query: Union[str, ast.Statement]
+    #: human-readable label (the SQL text) for the query context
+    label: str = ""
+    #: the next stage to run — re-entry resets this to an earlier one
+    stage: str = "parse"
+    #: remaining repair budget (outage / drift / adaptation re-entries)
+    budget: int = 0
+    select: Optional[ast.Statement] = None
+    logical_plan: Optional[algebra.LogicalPlan] = None
+    annotation: Optional[Annotation] = None
+    dplan: Optional[DelegationPlan] = None
+    deployed: Optional[DeployedQuery] = None
+    result: Optional[Result] = None
+    schedule: Optional[ScheduleResult] = None
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
+    #: one adaptation round per submission (guards the Q-Error loop)
+    adapted: bool = False
+    #: (db, kind, name) materializations kept across an adaptation,
+    #: awaiting re-fencing under the adapted deployment's epoch
+    pending_keeps: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Q-Error observations harvested from the execution
+    observations: List[Observation] = field(default_factory=list)
+    exec_seconds: float = 0.0
+    transfers: Optional[TransferSummary] = None
+    admitted_engines: List[str] = field(default_factory=list)
+
+
+class PlanPipeline:
+    """Drives a :class:`PlanState` through the planning stages.
+
+    Owns the one and only annotate/finalize repair loop; ``XDB.submit``,
+    drift recovery, mid-query adaptation, and prepared-query replans
+    all re-enter the pipeline at a stage instead of duplicating it.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        catalog: GlobalCatalog,
+        optimizer: LogicalOptimizer,
+        annotator: PlanAnnotator,
+        finalizer: PlanFinalizer,
+        delegator: DelegationEngine,
+        repair_budget: int = 2,
+        feedback: Optional[FeedbackStore] = None,
+        adaptivity_threshold: Optional[float] = None,
+        on_drift: Optional[Callable[[str, str], None]] = None,
+    ):
+        self.deployment = deployment
+        self.connectors = deployment.connectors
+        self.catalog = catalog
+        self.optimizer = optimizer
+        self.annotator = annotator
+        self.finalizer = finalizer
+        self.delegator = delegator
+        self.repair_budget = repair_budget
+        #: the persistent Q-Error feedback store (None = loop disabled)
+        self.feedback = feedback
+        #: Q-Error above which a materialized task boundary triggers a
+        #: mid-query suffix replan (None = adaptivity disabled)
+        self.adaptivity_threshold = adaptivity_threshold
+        #: callback(db, table) on drift re-introspection — the client
+        #: invalidates prepared handles scanning the table
+        self.on_drift = on_drift
+        self.metadata_fresh = False
+
+    # -- state construction ------------------------------------------------
+
+    def new_state(
+        self, query: Union[str, ast.Statement], budget: Optional[int] = None
+    ) -> PlanState:
+        return PlanState(
+            query=query,
+            label=self.label_of(query),
+            budget=self.repair_budget if budget is None else budget,
+        )
+
+    @staticmethod
+    def label_of(query: Union[str, ast.Statement]) -> str:
+        """The query's SQL text, for trace labels and jitter seeding.
+
+        AST submissions used to label their spans ``"<ast>"``; now they
+        render back to SQL so traces stay readable (the literal
+        ``"<ast>"`` survives only as the fallback for unrenderable
+        statements).
+        """
+        if isinstance(query, str):
+            return query
+        try:
+            return render(query)
+        except ReproError:
+            return "<ast>"
+
+    @staticmethod
+    def parse(query: Union[str, ast.Statement]) -> ast.Statement:
+        if isinstance(query, ast.QUERY_STATEMENTS):
+            return query
+        statement = parse_statement(query)
+        if not isinstance(statement, ast.QUERY_STATEMENTS):
+            raise OptimizerError(
+                "XDB accepts analytical SELECT / UNION ALL queries only"
+            )
+        return statement
+
+    # -- stage plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _step(tracer, name: str):
+        """A step span when tracing, a no-op otherwise — so the traced
+        and offline paths share one stage body."""
+        if tracer is None:
+            return contextlib.nullcontext()
+        return tracer.span(name, kind="step")
+
+    def _annotate_finalize(self, state: PlanState, tracer=None) -> None:
+        """THE annotate+finalize body — every caller re-enters here."""
+        with self._step(tracer, "annotate"):
+            state.annotation = self.annotator.annotate(state.logical_plan)
+        with self._step(tracer, "finalize"):
+            state.dplan = self.finalizer.finalize(
+                state.logical_plan, state.annotation
+            )
+        state.stage = "delegate"
+
+    def _annotate_with_repair(
+        self, state: PlanState, tracer, phase: str = "ann"
+    ) -> None:
+        """Annotate+finalize with the outage-repair loop around it."""
+        health = self.deployment.health
+        while True:
+            try:
+                self._annotate_finalize(state, tracer)
+                return
+            except EngineUnavailableError as exc:
+                db = self.unavailable_db(exc)
+                if db is None or state.budget <= 0:
+                    raise
+                state.budget -= 1
+                state.recovery.repair_attempts += 1
+                state.recovery.repaired_dbs.append(db)
+                tracer.add_event("repair", db=db, phase=phase)
+                health.report_outage(
+                    db, "annotation-time consultation failed"
+                )
+
+    # -- planning ----------------------------------------------------------
+
+    def plan(
+        self,
+        state: PlanState,
+        ctx: QueryContext,
+        refresh_metadata: bool = False,
+    ):
+        """Run the planning stages under ``ctx``'s tracer.
+
+        Returns the (prep, lopt, ann) phase spans for the report's
+        phase breakdown.  Stages the state already passed are skipped,
+        so a re-entered state resumes where it was reset to.
+        """
+        tracer = ctx.tracer
+
+        with tracer.span("prep", kind="phase") as prep_span:
+            ctx.enter_phase("prep")
+            if _stage_index(state.stage) <= _stage_index("parse"):
+                with tracer.span("parse", kind="step"):
+                    state.select = self.parse(state.query)
+                state.stage = "catalog"
+            if _stage_index(state.stage) <= _stage_index("catalog"):
+                if refresh_metadata or not self.metadata_fresh:
+                    with tracer.span("catalog-refresh", kind="step"):
+                        self.catalog.refresh()
+                    self.metadata_fresh = True
+                state.stage = "optimize"
+
+        with tracer.span("lopt", kind="phase") as lopt_span:
+            ctx.enter_phase("lopt")
+            if _stage_index(state.stage) <= _stage_index("optimize"):
+                with tracer.span("optimize", kind="step"):
+                    state.logical_plan = self.optimizer.optimize(
+                        state.select
+                    )
+                state.stage = "annotate"
+
+        with tracer.span("ann", kind="phase") as ann_span:
+            ctx.enter_phase("ann")
+            if _stage_index(state.stage) <= _stage_index("finalize"):
+                self._annotate_with_repair(state, tracer, phase="ann")
+            state.recovery.placement_before = self.placement(state.dplan)
+
+        return prep_span, lopt_span, ann_span
+
+    def plan_offline(
+        self, state: PlanState, refresh_metadata: bool = False
+    ) -> PlanState:
+        """Run the planning stages without a query context.
+
+        Used by ``explain`` / ``plan_query`` / ``prepare`` (from the
+        ``parse`` stage) and by prepared-query replans (re-entry at
+        ``optimize``, which correctly skips the catalog refresh).  No
+        repair loop: offline planning propagates the first failure.
+        """
+        if _stage_index(state.stage) <= _stage_index("parse"):
+            state.select = self.parse(state.query)
+            state.stage = "catalog"
+        if _stage_index(state.stage) <= _stage_index("catalog"):
+            if refresh_metadata or not self.metadata_fresh:
+                self.catalog.refresh()
+                self.metadata_fresh = True
+            state.stage = "optimize"
+        if _stage_index(state.stage) <= _stage_index("optimize"):
+            state.logical_plan = self.optimizer.optimize(state.select)
+            state.stage = "annotate"
+        if _stage_index(state.stage) <= _stage_index("finalize"):
+            self._annotate_finalize(state, None)
+        return state
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        state: PlanState,
+        ctx: QueryContext,
+        cleanup: bool = True,
+        qos: Optional[QoSPolicy] = None,
+    ) -> PlanState:
+        """Delegate and execute the planned state (the exec phase).
+
+        Self-healing re-enters earlier stages in place: an outage
+        re-annotates, drift re-optimizes, and a blown estimate pins the
+        materialized producers and re-annotates the suffix — all within
+        ``state.budget``.
+        """
+        network = self.deployment.network
+        health = self.deployment.health
+        gate = self.deployment.workload_gate
+        priority = qos.priority if qos is not None else PRIORITY_NORMAL
+        tracer = ctx.tracer
+        recovery = state.recovery
+
+        lease = None
+        deployed = None
+        try:
+            with tracer.span("exec", kind="phase") as exec_span:
+                repair_start: Optional[Tuple[float, float]] = None
+                while True:
+                    deployed = None
+                    state.deployed = None
+                    try:
+                        if state.dplan is None:
+                            # Re-enter at the annotate stage: the
+                            # annotator now sees the open breaker (or
+                            # the pinned plan), so replicated tables
+                            # land on a healthy holder and Rule 4 drops
+                            # the dead candidate.
+                            self._annotate_finalize(state, tracer)
+                        dplan = state.dplan
+                        # Lazy drift verification: once per table per
+                        # catalog epoch.  A refresh pre-marks everything
+                        # it read, so the common case is an empty list —
+                        # no span, no engine calls.
+                        pending = self.catalog.unverified(
+                            self.placement(dplan)
+                        )
+                        if pending:
+                            with tracer.span("verify", kind="step"):
+                                for vdb, vtable in pending:
+                                    self.catalog.verify_table(vdb, vtable)
+                        engines = sorted(
+                            {
+                                task.annotation
+                                for task in dplan.tasks.values()
+                            }
+                        )
+                        if lease is not None and set(lease.engines) != set(
+                            engines
+                        ):
+                            # The repaired plan routes around the outage
+                            # onto a different engine set: swap the
+                            # admission tokens to match.
+                            lease.release()
+                            lease = None
+                        if lease is None:
+                            ctx.enter_phase("admission")
+                            with tracer.span("admit", kind="step"):
+                                lease = gate.acquire(
+                                    engines,
+                                    priority=priority,
+                                    deadline=ctx.deadline,
+                                )
+                                ctx.record_admission(lease)
+                        ctx.enter_phase("delegate")
+                        with tracer.span("delegate", kind="step"):
+                            deployed = self.delegator.delegate(dplan)
+                        state.deployed = deployed
+                        if state.pending_keeps:
+                            self._refence_keeps(state, deployed)
+                        if (
+                            self.adaptivity_threshold is not None
+                            and not state.adapted
+                            and self._maybe_adapt(
+                                state, deployed, exec_span, tracer
+                            )
+                        ):
+                            # Blown estimate: the materialized producers
+                            # are pinned and the suffix re-enters at
+                            # annotate.  The old cascade (minus keeps)
+                            # is already torn down.
+                            deployed = None
+                            state.deployed = None
+                            continue
+                        root_connector = self.connectors[deployed.root_db]
+                        ctx.enter_phase("execute")
+                        with tracer.span("execute", kind="step"):
+                            result = root_connector.run_query(
+                                deployed.xdb_query,
+                                self.deployment.client_node,
+                            )
+                        if ctx.deadline is not None:
+                            # A result that lands after the deadline is
+                            # a miss, not a success: cancel it.
+                            ctx.deadline.check(
+                                "execute", detail="post-execution"
+                            )
+                        state.result = result
+                        break
+                    except SchemaDriftError as drift:
+                        if state.budget <= 0:
+                            raise
+                        state.budget -= 1
+                        if repair_start is None:
+                            repair_start = (wall_now(), tracer.sim_now)
+                        if deployed is not None:
+                            try:
+                                deployed.cleanup()
+                            except ReproError:
+                                pass
+                        self.recover_drift(state, drift, tracer)
+                        state.dplan = None
+                    except (
+                        EngineUnavailableError,
+                        DelegationError,
+                    ) as exc:
+                        # A delegation failure whose cause chain is
+                        # schema-shaped (bind/type/catalog) may be a
+                        # drifted remote table rather than an outage:
+                        # force-verify the placed tables and, if one
+                        # drifted, take the drift recovery path instead
+                        # of plan repair.
+                        drift = self.sniff_drift(exc, state.dplan)
+                        if drift is not None:
+                            if state.budget <= 0:
+                                raise drift from exc
+                            state.budget -= 1
+                            if repair_start is None:
+                                repair_start = (
+                                    wall_now(),
+                                    tracer.sim_now,
+                                )
+                            if deployed is not None:
+                                try:
+                                    deployed.cleanup()
+                                except ReproError:
+                                    pass
+                            self.recover_drift(state, drift, tracer)
+                            state.dplan = None
+                            continue
+                        db = self.unavailable_db(exc)
+                        if db is None or state.budget <= 0:
+                            raise
+                        state.budget -= 1
+                        recovery.repair_attempts += 1
+                        recovery.repaired_dbs.append(db)
+                        if repair_start is None:
+                            repair_start = (wall_now(), tracer.sim_now)
+                        tracer.add_event("repair", db=db, phase="exec")
+                        # Trip the breaker FIRST so the best-effort
+                        # cleanup of the partial deployment fails fast
+                        # on the dead engine instead of burning its
+                        # retry budget per object.
+                        health.report_outage(db, "execution failed")
+                        if deployed is not None:
+                            try:
+                                deployed.cleanup()
+                            except ReproError:
+                                pass
+                        state.dplan = None
+                    except (
+                        BindError,
+                        TypeCheckError,
+                        CatalogError,
+                    ) as exc:
+                        # The root XDB query can hit the drifted table
+                        # directly (no DDL cascade to wrap the failure
+                        # in a DelegationError): a raw bind/type/catalog
+                        # error here gets the same sniff before
+                        # propagating.
+                        drift = self.sniff_drift(exc, state.dplan)
+                        if drift is None or state.budget <= 0:
+                            raise
+                        state.budget -= 1
+                        if repair_start is None:
+                            repair_start = (wall_now(), tracer.sim_now)
+                        if deployed is not None:
+                            try:
+                                deployed.cleanup()
+                            except ReproError:
+                                pass
+                        self.recover_drift(state, drift, tracer)
+                        state.dplan = None
+                if repair_start is not None:
+                    repair_wall, repair_sim = repair_start
+                    recovery.repair_seconds = (
+                        wall_now() - repair_wall
+                    ) + (tracer.sim_now - repair_sim)
+                recovery.placement = self.placement(state.dplan)
+                attribute_edge_stats(
+                    deployed, exec_span.subtree_records()
+                )
+                with tracer.span("schedule", kind="step"):
+                    schedule = simulate_schedule(
+                        deployed,
+                        self.connectors,
+                        network,
+                        self.deployment.client_node,
+                        result_bytes=result.byte_size(),
+                        worker_slots=_slots(self.deployment),
+                    )
+                state.schedule = schedule
+                # Harvest the Q-Error observations while the span tree
+                # still has the operator spans at hand.  Observations
+                # ride on every report (explain_analyze's Q-Error
+                # column); they persist only when a store is wired.
+                state.observations = harvest_execution(
+                    state.dplan,
+                    exec_span,
+                    self.catalog,
+                    len(result.rows),
+                )
+                if self.feedback is not None and state.observations:
+                    with tracer.span("harvest", kind="step"):
+                        self.feedback.observe_many(state.observations)
+
+            # Middleware CPU during exec is not on the critical path
+            # (the DBMSes run decentrally); control messages are, and
+            # so are simulated retry backoff spent on the DDL cascade
+            # and any repair-time re-consultations — all read off the
+            # exec span's subtree.
+            state.exec_seconds = (
+                schedule.total_seconds
+                + ctx.control_seconds(exec_span)
+                + ctx.backoff_in(exec_span)
+            )
+            state.transfers = ctx.transfer_summary(exec_span)
+            recovery.breaker_transitions = list(ctx.breaker_events)
+
+            # Cleanup runs outside the exec span (its drops are not
+            # part of the execution window's transfer summary) but
+            # still under the admission lease, and — with a deadline —
+            # under the grace budget, so a query that *met* its
+            # deadline cannot fail while tearing itself down.
+            ctx.current_phase = "cleanup"
+            if cleanup:
+                if ctx.deadline is not None:
+                    with ctx.deadline.grace():
+                        deployed.cleanup()
+                else:
+                    deployed.cleanup()
+        except DeadlineExceeded as exc:
+            self.cancel_deployment(ctx, deployed, exc)
+            raise
+        finally:
+            if lease is not None:
+                state.admitted_engines = list(lease.engines)
+                lease.release()
+        return state
+
+    # -- drift recovery ----------------------------------------------------
+
+    def recover_drift(
+        self, state: PlanState, drift: SchemaDriftError, tracer
+    ) -> None:
+        """Absorb one detected drift: re-introspect, invalidate, replan.
+
+        Re-enters the pipeline at the ``optimize`` stage (the plan must
+        be rebuilt from the source query against the adopted schema).
+        When replanning still fails — e.g. a drifted replica now
+        diverges from its siblings, or the table vanished and only this
+        holder had it — the table is quarantined (placement avoids it
+        like a dead holder) and the replan is retried once; a second
+        failure propagates.
+        """
+        recovery = state.recovery
+        recovery.drift_events += 1
+        key = (drift.db, drift.table)
+        if key not in recovery.drifted_tables:
+            recovery.drifted_tables.append(key)
+        tracer.add_event(
+            "schema-drift",
+            db=drift.db,
+            table=drift.table,
+            diff=drift.diff_summary(),
+        )
+        with tracer.span("reintrospect", kind="step"):
+            adopted = self.catalog.reintrospect(drift.db, drift.table)
+        if self.feedback is not None:
+            # Learned cardinalities observed under the old schema are
+            # as stale as the plans built on them.
+            self.feedback.invalidate_table(drift.db, drift.table)
+        if self.on_drift is not None:
+            self.on_drift(drift.db, drift.table)
+        state.stage = "optimize"
+        try:
+            with tracer.span("optimize", kind="step"):
+                state.logical_plan = self.optimizer.optimize(state.select)
+            state.stage = "annotate"
+        except ReproError:
+            if adopted is not None:
+                self.catalog.quarantine(drift.db, drift.table)
+            recovery.quarantined.append(key)
+            tracer.add_event("quarantine", db=drift.db, table=drift.table)
+            try:
+                with tracer.span("optimize", kind="step"):
+                    state.logical_plan = self.optimizer.optimize(
+                        state.select
+                    )
+                state.stage = "annotate"
+            except ReproError as replan_exc:
+                # Even with the drifted holder out of the way the query
+                # cannot bind (the table vanished everywhere, or it
+                # referenced a now-renamed column): surface the
+                # structured drift error, not the planner's.
+                drift.quarantined = True
+                raise drift from replan_exc
+
+    def sniff_drift(
+        self, exc: BaseException, dplan: Optional[DelegationPlan]
+    ) -> Optional[SchemaDriftError]:
+        """Check whether a schema-shaped failure traces back to drift.
+
+        Only failures whose cause chain contains a bind/type/catalog
+        error are sniffed — transient giveups and outages never touch
+        the fingerprint path, so their fault schedules are unchanged.
+        The sniff force-verifies each placed table and returns the
+        first drift found (None when the schemas all still match).
+        """
+        if dplan is None or not self._schema_shaped(exc):
+            return None
+        for table, db in sorted(self.placement(dplan).items()):
+            try:
+                self.catalog.verify_table(db, table, force=True)
+            except SchemaDriftError as drift:
+                return drift
+            except ReproError:
+                continue
+        return None
+
+    @staticmethod
+    def _schema_shaped(exc: BaseException) -> bool:
+        """Whether a failure's cause chain smells like schema drift."""
+        seen = set()
+        node: Optional[BaseException] = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(
+                node, (BindError, TypeCheckError, CatalogError)
+            ):
+                return True
+            node = node.__cause__ or node.__context__
+        return False
+
+    # -- mid-query adaptivity (the Q-Error loop's fast path) ---------------
+
+    def _maybe_adapt(
+        self,
+        state: PlanState,
+        deployed: DeployedQuery,
+        exec_span,
+        tracer,
+    ) -> bool:
+        """Suffix replan at the materialization boundary, if warranted.
+
+        Delegation already ran every explicit edge's CTAS, so the rows
+        that actually crossed those task boundaries are known *before*
+        the root XDB query runs — the paper-world analogue of a task
+        boundary mid-query.  When a materialized producer's actual
+        cardinality blows its estimate past the adaptivity threshold,
+        the producers are **pinned**: their logical subtrees are
+        replaced by scans of the existing ``xm_`` snapshots (executed
+        work is never redone), and the unexecuted suffix re-enters the
+        pipeline at the annotate stage with corrected cardinalities.
+
+        Returns True when the state was re-entered (caller loops);
+        False to proceed with the current deployment.
+        """
+        state.adapted = True  # one adaptation round per submission
+        dplan = state.dplan
+        threshold = self.adaptivity_threshold
+        # The CTAS fetches were recorded inside the delegate step — the
+        # exec span's subtree already carries the explicit-edge actuals.
+        attribute_edge_stats(deployed, exec_span.subtree_records())
+
+        blown: List[Tuple[int, float]] = []
+        candidates = []
+        for edge in dplan.edges:
+            if edge.movement is not Movement.EXPLICIT:
+                continue
+            if not edge.moved_rows or edge.moved_rows <= 0:
+                continue
+            producer = dplan.tasks[edge.producer_id]
+            src = producer.source_expr
+            if src is None:
+                continue
+            # A producer whose output needed the finalizer's dedup
+            # projection has snapshot columns that no longer match its
+            # logical schema — leave it to be recomputed.
+            names = [f.name.lower() for f in src.schema]
+            if len(set(names)) != len(names):
+                continue
+            actual = float(edge.moved_rows)
+            q = qerror.q_error(producer.estimated_rows, actual)
+            candidates.append((edge, producer, actual, q))
+            if q > threshold:
+                blown.append((producer.task_id, q))
+        if not blown:
+            return False
+
+        plan = state.logical_plan
+        keeps: List[Tuple[str, str, str]] = []
+        overlay = FeedbackOverlay(self.feedback)
+        pinned_ids: List[int] = []
+        for edge, producer, actual, _q in candidates:
+            consumer = dplan.tasks[edge.consumer_id]
+            xm_name = f"xm_{deployed.query_id}_{producer.task_id}"
+            pinned = algebra.Scan(
+                table=xm_name,
+                binding=f"xpin_{producer.task_id}",
+                schema=producer.source_expr.schema,
+                source_db=consumer.annotation,
+                placeholder=True,
+                requalify=False,
+            )
+            pinned.estimated_rows = actual
+            plan, replaced = _replace_subtree(
+                plan, producer.source_expr, pinned
+            )
+            if not replaced:
+                # Nested producer already covered by an ancestor's pin.
+                continue
+            keeps.append((consumer.annotation, "TABLE", xm_name))
+            overlay.pin(overlay.fingerprint_of(producer.source_expr), actual)
+            pinned_ids.append(producer.task_id)
+        if not keeps:
+            return False
+
+        with tracer.span("adapt", kind="step"):
+            for task_id, q in blown:
+                tracer.add_event(
+                    "estimate-blown",
+                    task=task_id,
+                    qerror=(-1.0 if q == qerror.INFINITE else round(q, 3)),
+                )
+            # The rebuilt ancestors lost their estimates and Rule 4
+            # requires one on every node: a fresh estimator pass over
+            # the pinned plan recomputes them — the pinned scans feed
+            # their *actual* row counts in, and the overlay folds in
+            # any store-learned corrections for untouched subtrees.
+            estimator = CardinalityEstimator(
+                self.catalog.scan_stats, feedback=overlay
+            )
+            _annotate_all(plan, estimator)
+            recovery = state.recovery
+            recovery.adaptations += 1
+            recovery.blown_estimates.extend(blown)
+            recovery.pinned_tasks.extend(pinned_ids)
+            state.logical_plan = plan
+            state.dplan = None
+            state.stage = "annotate"
+            state.pending_keeps = keeps
+            # Release the kept snapshots from the old cascade, then
+            # tear the rest of it down (the new suffix deployment gets
+            # fresh names under a fresh epoch, so nothing collides).
+            keep_set = set(keeps)
+            deployed.created_objects[:] = [
+                obj
+                for obj in deployed.created_objects
+                if obj not in keep_set
+            ]
+            try:
+                deployed.cleanup()
+            except ReproError:
+                pass
+        return True
+
+    def _refence_keeps(
+        self, state: PlanState, deployed: DeployedQuery
+    ) -> None:
+        """Adopt kept snapshots into the adapted deployment.
+
+        The old epoch closed when the superseded cascade tore down, so
+        the kept ``xm_`` tables were momentarily reapable; re-recording
+        them under the new deployment's (live) epoch fences them again,
+        and prepending them to ``created_objects`` makes the final
+        cleanup drop them last (consumers before producers).
+        """
+        for keep in state.pending_keeps:
+            db, kind, name = keep
+            deployed.created_objects.insert(0, keep)
+            if deployed.ledger is not None:
+                deployed.ledger.record(db, kind, name, deployed.epoch)
+        state.pending_keeps = []
+
+    # -- shared helpers ----------------------------------------------------
+
+    @staticmethod
+    def placement(dplan: Optional[DelegationPlan]) -> Dict[str, str]:
+        """Base table → DBMS map for the recovery placement diff.
+
+        Keyed by scanned table rather than task: a repaired plan may
+        merge or split tasks (co-location changes when a replica holder
+        takes over), so task identities do not survive re-planning but
+        table names do.
+        """
+        placement: Dict[str, str] = {}
+        if dplan is None:
+            return placement
+        for task in dplan.tasks.values():
+            for scan in task.expr.leaves():
+                if not scan.placeholder:
+                    placement[scan.table] = task.annotation
+        return placement
+
+    @staticmethod
+    def unavailable_db(exc: BaseException) -> Optional[str]:
+        """Which DBMS an outage exception blames, if repairable.
+
+        Walks the ``__cause__``/``__context__`` chain for an
+        :class:`EngineUnavailableError` carrying a DBMS name (a
+        :class:`DelegationError` wraps the original connector error).
+        Returns None for unrepairable failures: an
+        ``EngineUnavailableError`` with ``db=None`` means every holder
+        of some table is down, and a failure with *no* engine-outage in
+        its chain (e.g. a transient fault that exhausted the retry
+        budget) is not an outage — re-planning cannot help either way.
+        """
+        seen = set()
+        node: Optional[BaseException] = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(node, EngineUnavailableError):
+                return node.db
+            node = node.__cause__ or node.__context__
+        return None
+
+    @staticmethod
+    def cancel_deployment(
+        ctx: QueryContext,
+        deployed: Optional[DeployedQuery],
+        exc: DeadlineExceeded,
+    ) -> None:
+        """Cooperative cancellation: tear down a deployed cascade after
+        deadline expiry, under the grace budget, and fold the rollback
+        accounting into the structured error.
+
+        ``deployed`` is None when the expiry struck *inside* the
+        delegation engine — that path already rolled itself back and
+        stamped the error; here we only handle expiry after delegation
+        completed (during execution or post-execution checks).
+        """
+        if deployed is None:
+            return
+        before = list(deployed.created_objects)
+        try:
+            if ctx.deadline is not None:
+                with ctx.deadline.grace():
+                    deployed.cleanup()
+            else:
+                deployed.cleanup()
+        except ReproError:
+            # cleanup() already kept the undropped objects queued; the
+            # leak accounting below reads them off the deployment.
+            pass
+        remaining = list(deployed.created_objects)
+        exc.rolled_back = list(exc.rolled_back) + [
+            obj for obj in before if obj not in remaining
+        ]
+        exc.leaked = list(exc.leaked) + remaining
+        ctx.tracer.add_event(
+            "deadline-cancelled",
+            phase=exc.phase,
+            rolled_back=len(exc.rolled_back),
+            leaked=len(exc.leaked),
+        )
+
+
+def _slots(deployment: Deployment) -> Optional[int]:
+    """Per-engine task slots for the schedule simulator.
+
+    A single-worker deployment keeps the legacy unbounded-overlap
+    semantics (None); only explicit multi-worker engines cap how many
+    delegated tasks one engine advances concurrently.
+    """
+    workers = deployment.parallel_workers
+    return workers if workers > 1 else None
+
+
+def _annotate_all(
+    plan: algebra.LogicalPlan, estimator: CardinalityEstimator
+) -> None:
+    estimator.estimate_rows(plan)
+    for child in plan.children():
+        _annotate_all(child, estimator)
+
+
+def _replace_subtree(
+    root: algebra.LogicalPlan,
+    target: algebra.LogicalPlan,
+    replacement: algebra.LogicalPlan,
+) -> Tuple[algebra.LogicalPlan, bool]:
+    """Replace ``target`` (by identity) inside ``root``.
+
+    Returns ``(new_root, replaced)``; the tree is returned unchanged
+    when ``target`` does not occur (e.g. it lived inside a subtree an
+    earlier replacement already swapped out).
+    """
+    if root is target:
+        return replacement, True
+    children = root.children()
+    if not children:
+        return root, False
+    new_children = []
+    replaced = False
+    for child in children:
+        new_child, hit = _replace_subtree(child, target, replacement)
+        new_children.append(new_child)
+        replaced = replaced or hit
+    if not replaced:
+        return root, False
+    return root.with_children(new_children), True

@@ -55,6 +55,10 @@ class Task:
     expr: algebra.LogicalPlan
     #: estimated output cardinality (from the logical phase)
     estimated_rows: float = 0.0
+    #: the pre-finalization logical subtree this task evaluates — the
+    #: cardinality-feedback loop fingerprints it to key observed row
+    #: counts independently of how the plan was cut into tasks
+    source_expr: Optional[algebra.LogicalPlan] = None
 
     def placeholders(self) -> List[algebra.Scan]:
         """Placeholder scans inside this task's expression."""
@@ -120,8 +124,11 @@ class DelegationPlan:
         annotation: str,
         expr: algebra.LogicalPlan,
         estimated_rows: float = 0.0,
+        source_expr: Optional[algebra.LogicalPlan] = None,
     ) -> Task:
-        task = Task(self._next_id, annotation, expr, estimated_rows)
+        task = Task(
+            self._next_id, annotation, expr, estimated_rows, source_expr
+        )
         self.tasks[task.task_id] = task
         self._next_id += 1
         return task

@@ -48,10 +48,24 @@ class _NodeEstimate:
 
 
 class CardinalityEstimator:
-    """Estimates row counts (and key NDVs) for logical plans."""
+    """Estimates row counts (and key NDVs) for logical plans.
 
-    def __init__(self, stats_provider: StatsProviderFn):
+    ``feedback`` (a :class:`repro.feedback.store.FeedbackOverlay`, duck-
+    typed here as anything with ``correct(plan, rows)``) overrides the
+    model's estimate with a learned cardinality when the node's
+    fingerprint has been observed before.  The correction lands in the
+    memo and in ``plan.estimated_rows``, so both the Selinger DP (which
+    calls :meth:`estimate_rows`) and the Rule-4 placement costing
+    (which reads ``estimated_rows``) replan with the actuals.
+    """
+
+    def __init__(
+        self,
+        stats_provider: StatsProviderFn,
+        feedback: Optional[object] = None,
+    ):
         self._stats_provider = stats_provider
+        self._feedback = feedback
         # id(plan) -> (plan, estimate).  The entry keeps the node alive
         # so its id cannot be recycled by a later allocation and alias
         # a stale estimate; the identity check is belt and braces.
@@ -93,6 +107,13 @@ class CardinalityEstimator:
             )
         estimate = method(plan)
         estimate.rows = max(estimate.rows, 0.0)
+        if self._feedback is not None:
+            corrected = self._feedback.correct(plan, estimate.rows)
+            if corrected is not None:
+                rows = max(float(corrected), 0.0)
+                estimate = _NodeEstimate(
+                    rows=rows, columns=_scale(estimate.columns, rows)
+                )
         self._cache[id(plan)] = (plan, estimate)
         plan.estimated_rows = estimate.rows
         return estimate

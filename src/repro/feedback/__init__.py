@@ -1,0 +1,54 @@
+"""Cardinality feedback: the Q-Error loop.
+
+Estimates live in the Selinger DP and the Rule-4 placement costing;
+actuals live in the span tree (``rows_out``) and the delegation plan's
+edge statistics.  This package closes the loop:
+
+* :mod:`repro.feedback.qerror` — Q-Error arithmetic and the
+  symptom-routing table (locus × direction → rewrite hypothesis);
+* :mod:`repro.feedback.fingerprint` — canonical, join-order-
+  insensitive subexpression fingerprints;
+* :mod:`repro.feedback.store` — the persistent
+  :class:`FeedbackStore` and the estimator-facing
+  :class:`FeedbackOverlay`;
+* :mod:`repro.feedback.harvest` — extraction of (estimate, actual)
+  pairs from an executed query's delegation plan and span tree.
+"""
+
+from repro.feedback.fingerprint import (  # noqa: F401
+    base_tables,
+    fingerprint,
+    scan_fingerprint,
+    table_key,
+)
+from repro.feedback.harvest import (  # noqa: F401
+    harvest_execution,
+    harvest_scans,
+    harvest_tasks,
+)
+from repro.feedback.qerror import (  # noqa: F401
+    AGGREGATE,
+    EXACT,
+    JOIN,
+    OVER_EST,
+    ROUTING,
+    SCAN,
+    UNDER_EST,
+    ZERO_EST,
+    direction,
+    hypothesis,
+    locus_of,
+    median,
+    q_error,
+)
+from repro.feedback.report import (  # noqa: F401
+    median_q_error,
+    qerror_table,
+)
+from repro.feedback.store import (  # noqa: F401
+    FeedbackEntry,
+    FeedbackOverlay,
+    FeedbackStore,
+    Observation,
+    observe_expr,
+)

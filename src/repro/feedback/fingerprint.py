@@ -1,0 +1,128 @@
+"""Canonical, join-order-insensitive subexpression fingerprints.
+
+The feedback store keys corrected cardinalities by a *semantic*
+fingerprint of the subexpression that produced the observed rows, not
+by plan shape: the whole point is that the next plan may join the same
+tables in a different order (that is what the feedback is *for*), and
+it must still find the correction.
+
+The fingerprint therefore hashes an order-independent summary:
+
+* the set of base tables (``db.table``),
+* the set of filter/join conjuncts, rendered to canonical SQL with
+  equality operand order normalized,
+* the cardinality-relevant operator markers (aggregate keys and
+  functions, DISTINCT, LIMIT, LEFT-join shape, UNION arity).
+
+Projections, sorts and join order deliberately do not participate —
+they cannot change a subtree's cardinality.
+
+Bare base-table scans keep a readable ``scan:db.table`` form (no hash)
+so the store doubles as a human-auditable table-cardinality ledger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Set
+
+from repro.relational import algebra
+from repro.sql import ast
+from repro.sql.render import render
+
+
+def table_key(db: str, table: str) -> str:
+    return f"{(db or '?').lower()}.{table.lower()}"
+
+
+def scan_fingerprint(db: str, table: str) -> str:
+    return f"scan:{table_key(db, table)}"
+
+
+def fingerprint(plan: algebra.LogicalPlan) -> str:
+    """The canonical fingerprint of ``plan``."""
+    if isinstance(plan, algebra.Scan) and not plan.placeholder:
+        return scan_fingerprint(plan.source_db or "?", plan.table)
+    tables: Set[str] = set()
+    preds: Set[str] = set()
+    marks: Set[str] = set()
+    _collect(plan, tables, preds, marks)
+    text = "t=" + ",".join(sorted(tables))
+    text += "|p=" + ",".join(sorted(preds))
+    text += "|m=" + ",".join(sorted(marks))
+    digest = hashlib.sha1(text.encode("utf-8")).hexdigest()[:16]
+    return f"expr:{digest}"
+
+
+def base_tables(plan: algebra.LogicalPlan) -> List[str]:
+    """Sorted ``db.table`` keys of every base table under ``plan``."""
+    tables: Set[str] = set()
+    for node in _walk(plan):
+        if isinstance(node, algebra.Scan) and not node.placeholder:
+            tables.add(table_key(node.source_db or "?", node.table))
+    return sorted(tables)
+
+
+def _walk(node: algebra.LogicalPlan):
+    yield node
+    for child in node.children():
+        yield from _walk(child)
+
+
+def _render(expr: ast.Expression) -> str:
+    try:
+        return render(expr)
+    except Exception:  # exotic node: fall back to a stable repr
+        return repr(expr)
+
+
+def _conjunct_keys(predicate: ast.Expression) -> Set[str]:
+    keys: Set[str] = set()
+    for conj in ast.conjuncts(predicate):
+        if isinstance(conj, ast.BinaryOp) and conj.op == "=":
+            sides = sorted((_render(conj.left), _render(conj.right)))
+            keys.add(f"{sides[0]} = {sides[1]}")
+        else:
+            keys.add(_render(conj))
+    return keys
+
+
+def _collect(
+    node: algebra.LogicalPlan,
+    tables: Set[str],
+    preds: Set[str],
+    marks: Set[str],
+) -> None:
+    if isinstance(node, algebra.Scan):
+        if node.placeholder:
+            # A pinned/placeholder input contributes its binding: two
+            # plans reading the same materialized boundary agree.
+            tables.add(f"pin:{node.binding.lower()}")
+        else:
+            tables.add(table_key(node.source_db or "?", node.table))
+        return
+    if isinstance(node, algebra.Filter):
+        preds.update(_conjunct_keys(node.predicate))
+    elif isinstance(node, algebra.Join):
+        if node.condition is not None:
+            preds.update(_conjunct_keys(node.condition))
+        if node.kind == "LEFT":
+            # LEFT joins are asymmetric: the preserved side matters.
+            marks.add(f"left:{fingerprint(node.left)}")
+    elif isinstance(node, algebra.Aggregate):
+        keys = sorted(_render(key.expr) for key in node.keys)
+        funcs = sorted(
+            f"{spec.func}({_render(spec.arg) if spec.arg is not None else '*'})"
+            + ("#d" if spec.distinct else "")
+            for spec in node.aggregates
+        )
+        marks.add("agg:" + ",".join(keys) + "/" + ",".join(funcs))
+    elif isinstance(node, algebra.Limit):
+        marks.add(f"limit:{node.count}")
+    elif isinstance(node, algebra.Distinct):
+        marks.add("distinct")
+    elif isinstance(node, algebra.Union):
+        marks.add("union")
+    # Project / Sort / Alias cannot change cardinality: recurse only.
+    for child in node.children():
+        _collect(child, tables, preds, marks)

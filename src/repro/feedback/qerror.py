@@ -1,0 +1,130 @@
+"""Q-Error arithmetic and the symptom-routing table.
+
+Q-Error is the planner's own report card: for every operator with an
+estimated and an observed cardinality,
+
+    q = max(estimated / actual, actual / estimated)
+
+A perfect estimate scores 1.0; the score grows symmetrically however
+the planner missed.  The operator with the *highest* Q-Error is where
+the planner's worst decision lives, and the (locus, direction) pair
+routes to a primary rewrite hypothesis — the quantitative routing
+table distilled from the EXPLAIN-pathology playbooks in SNIPPETS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.relational import algebra
+
+INFINITE = float("inf")
+
+#: Direction labels for a mis-estimate.
+UNDER_EST = "UNDER_EST"
+OVER_EST = "OVER_EST"
+ZERO_EST = "ZERO_EST"
+EXACT = "EXACT"
+
+#: Locus labels (the operator class the estimate belongs to).
+JOIN = "JOIN"
+SCAN = "SCAN"
+AGGREGATE = "AGGREGATE"
+
+
+def q_error(estimated: Optional[float], actual: Optional[float]) -> float:
+    """``max(est/actual, actual/est)`` with the zero corners pinned.
+
+    Both zero → 1.0 (the planner was right about nothing); exactly one
+    zero → infinity (the worst possible miss — a plan built on a
+    cardinality of zero, or blind to rows that do exist).
+    """
+    est = max(float(estimated or 0.0), 0.0)
+    act = max(float(actual or 0.0), 0.0)
+    if est <= 0.0 and act <= 0.0:
+        return 1.0
+    if est <= 0.0 or act <= 0.0:
+        return INFINITE
+    return max(est / act, act / est)
+
+
+def direction(estimated: Optional[float], actual: Optional[float]) -> str:
+    """Classify the miss: ZERO_EST / UNDER_EST / OVER_EST / EXACT."""
+    est = max(float(estimated or 0.0), 0.0)
+    act = max(float(actual or 0.0), 0.0)
+    if est <= 0.0 and act > 0.0:
+        return ZERO_EST
+    if est < act:
+        return UNDER_EST
+    if est > act:
+        return OVER_EST
+    return EXACT
+
+
+#: (locus, direction) → (rewrite ids, why) — the Q-Error routing table.
+ROUTING = {
+    (JOIN, UNDER_EST): (
+        "P2",
+        "decorrelate: the planner thinks the join is cheap and it is not",
+    ),
+    (JOIN, ZERO_EST): (
+        "P0,P2",
+        "the planner has no join estimate at all",
+    ),
+    (JOIN, OVER_EST): (
+        "P5",
+        "LEFT->INNER: the planner over-provisions for NULLs",
+    ),
+    (SCAN, OVER_EST): (
+        "P1,P4",
+        "redundant scans or missed pruning",
+    ),
+    (SCAN, ZERO_EST): (
+        "P2",
+        "a zero scan estimate usually hides a correlation",
+    ),
+}
+
+
+def hypothesis(locus: str, miss: str) -> Optional[Tuple[str, str]]:
+    """The routed (rewrite ids, rationale) pair, or None when the
+    table has no entry (e.g. aggregates, or an exact estimate)."""
+    return ROUTING.get((locus, miss))
+
+
+def locus_of(expr: Optional[algebra.LogicalPlan]) -> str:
+    """The dominant estimate locus of a plan subtree.
+
+    A join anywhere in the subtree makes it a JOIN locus (join-order
+    and placement decisions hang off that estimate); otherwise an
+    aggregate wins; a bare scan pipeline is a SCAN locus.
+    """
+    if expr is None:
+        return SCAN
+    found_agg = False
+    for node in _walk(expr):
+        if isinstance(node, (algebra.Join, algebra.Union)):
+            return JOIN
+        if isinstance(node, algebra.Aggregate):
+            found_agg = True
+    return AGGREGATE if found_agg else SCAN
+
+
+def _walk(node: algebra.LogicalPlan):
+    yield node
+    for child in node.children():
+        yield from _walk(child)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of ``values`` (0.0 when empty); infinities participate."""
+    ordered: List[float] = sorted(float(v) for v in values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    low, high = ordered[mid - 1], ordered[mid]
+    if low == INFINITE or high == INFINITE:
+        return INFINITE
+    return (low + high) / 2.0

@@ -1,0 +1,58 @@
+"""Rendering the Q-Error loop's findings for ``explain_analyze``.
+
+One row per harvested observation — estimated vs actual rows and the
+Q-Error — sorted worst first; the worst row is flagged as the
+*planning locus* (where the planner's most consequential mis-decision
+lives) and, when the (locus, direction) pair has an entry in the
+routing table, the routed rewrite hypothesis is printed under it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.feedback import qerror
+from repro.feedback.store import Observation
+
+
+def _fmt_rows(value: float) -> str:
+    if value == qerror.INFINITE:
+        return "inf"
+    if value >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:g}"
+
+
+def _fmt_q(value: float) -> str:
+    return "inf" if value == qerror.INFINITE else f"{value:.2f}"
+
+
+def qerror_table(observations: Sequence[Observation]) -> str:
+    """The per-operator Q-Error section of ``explain_analyze``."""
+    if not observations:
+        return ""
+    ordered = sorted(
+        observations, key=lambda obs: obs.q_error, reverse=True
+    )
+    worst = ordered[0]
+    lines: List[str] = ["q-error (worst first):"]
+    for obs in ordered:
+        flag = "  ◀ planning locus" if obs is worst else ""
+        lines.append(
+            f"  {obs.label or obs.fingerprint:<28} "
+            f"[{obs.locus.lower():>9}] "
+            f"est={_fmt_rows(obs.estimated_rows):>10} "
+            f"act={_fmt_rows(obs.actual_rows):>10} "
+            f"q={_fmt_q(obs.q_error):>8} "
+            f"{obs.direction:<9}{flag}"
+        )
+    routed = qerror.hypothesis(worst.locus, worst.direction)
+    if routed is not None and worst.q_error > 1.0:
+        rewrites, why = routed
+        lines.append(f"  hypothesis: {rewrites} — {why}")
+    return "\n".join(lines)
+
+
+def median_q_error(observations: Sequence[Observation]) -> float:
+    """Median Q-Error across ``observations`` (0.0 when none)."""
+    return qerror.median([obs.q_error for obs in observations])

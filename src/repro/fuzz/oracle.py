@@ -1,7 +1,7 @@
 """Fuzz oracles: round-trip, differential execution, pushdown,
-drift-recovery and partition parity.
+drift-recovery, partition and feedback parity.
 
-Five invariants, each cheap to state and brutal to uphold:
+Six invariants, each cheap to state and brutal to uphold:
 
 1. **Round-trip**: for every dialect, ``render(stmt)`` must parse back
    to the same AST (modulo the recorded surface ``syntax``) and a
@@ -26,6 +26,12 @@ Five invariants, each cheap to state and brutal to uphold:
    branches in parallel) must not change any query's result — the
    partitioned deployment returns exactly the unpartitioned
    deployment's rows.
+6. **Feedback parity**: the Q-Error loop only changes *how* a query
+   runs, never *what* it returns — a client with skewed statistics,
+   a warmed :class:`~repro.feedback.store.FeedbackStore`, and
+   (optionally) mid-query adaptivity must return byte-identical rows
+   to a feedback-free oracle client, on both the cold and the warmed
+   submission.
 """
 
 from __future__ import annotations
@@ -428,6 +434,83 @@ def check_partition(spec: Dict[str, object]) -> List[str]:
     return []
 
 
+# -- feedback parity ---------------------------------------------------------
+
+
+def check_feedback(spec: Dict[str, object]) -> List[str]:
+    """Warmed feedback store vs a feedback-free oracle client.
+
+    The spec carries a cross-database ``query`` over the two-engine
+    drift deployment, a ``skew`` that misleads the warmed client's
+    statistics (``override_stats`` on the remote table), and the
+    optional ``movement_policy`` / ``adaptivity_threshold`` knobs that
+    arm mid-query adaptation.  Whatever plans the Q-Error loop picks —
+    cold under skewed stats, adapted mid-query, or replanned off the
+    warmed store — every submission must return exactly the oracle's
+    rows.
+    """
+    from repro.feedback.store import FeedbackStore
+
+    sql = str(spec["query"])
+    profile = str(spec.get("remote_profile", "postgres"))
+    movement = str(spec.get("movement_policy", "cost"))
+    threshold = spec.get("adaptivity_threshold")
+    skew = dict(spec.get("skew") or {})
+
+    try:
+        oracle = XDB(
+            _drift_deployment(profile), movement_policy=movement
+        ).submit(sql)
+    except Exception as exc:
+        return [f"feedback oracle baseline failed: {exc!r} for {sql!r}"]
+    expected = _canonical(oracle.result.rows)
+
+    deployment = _drift_deployment(profile)
+    xdb = XDB(
+        deployment,
+        movement_policy=movement,
+        feedback=FeedbackStore(),
+        adaptivity_threshold=(
+            float(threshold) if threshold is not None else None
+        ),
+    )
+    try:
+        xdb.warm_metadata()
+        if skew:
+            xdb.catalog.override_stats(
+                str(skew.get("db", "R")),
+                str(skew.get("table", "rt")),
+                int(skew.get("row_count", 1)),
+            )
+        cold = xdb.submit(sql)
+    except Exception as exc:
+        return [
+            f"cold feedback submission failed under skew {skew}: "
+            f"{exc!r} for {sql!r}"
+        ]
+    if _canonical(cold.result.rows) != expected:
+        return [
+            f"feedback parity mismatch on the cold run "
+            f"(skew={skew}, adapted={cold.recovery.adaptations}): "
+            f"{len(cold.result.rows)} rows vs {len(expected)} oracle "
+            f"rows for {sql!r}"
+        ]
+    try:
+        warm = xdb.submit(sql)
+    except Exception as exc:
+        return [
+            f"warmed feedback submission failed: {exc!r} for {sql!r}"
+        ]
+    if _canonical(warm.result.rows) != expected:
+        return [
+            f"feedback parity mismatch on the warmed run "
+            f"({len(xdb.feedback)} learned entries): "
+            f"{len(warm.result.rows)} rows vs {len(expected)} oracle "
+            f"rows for {sql!r}"
+        ]
+    return []
+
+
 def run_case(spec: Dict[str, object]) -> List[str]:
     """Run every applicable oracle; empty list means the case passed."""
     kind = spec["kind"]
@@ -437,6 +520,8 @@ def run_case(spec: Dict[str, object]) -> List[str]:
         return check_drift(spec)
     if kind == "partition":
         return check_partition(spec)
+    if kind == "feedback":
+        return check_feedback(spec)
     try:
         stmt = spec_to_statement(spec)
     except Exception as exc:
