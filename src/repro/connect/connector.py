@@ -174,22 +174,32 @@ class DBMSConnector:
 
     # -- resilience -------------------------------------------------------------
 
-    def _guarded(self, op: str, fn: Callable[[], T]) -> T:
+    def _guarded(
+        self, op: str, fn: Callable[[], T], detail: Optional[str] = None
+    ) -> T:
         """Run ``fn`` with breaker gating, faults, timeout, and retry.
 
         One tracer span covers the whole engine call (all attempts);
         retries, backoff, breaker fast-fails, and give-ups surface as
-        span events on it.
+        span events on it.  ``detail`` is the call's payload (rendered
+        SQL, a table name) when the call site has one cheaply — the
+        fault injector matches shard-scoped outages against it.
         """
         ctx = current_context()
         if ctx is None:
-            return self._guarded_attempts(op, fn, None)
+            return self._guarded_attempts(op, fn, None, detail)
         with ctx.tracer.span(
             f"{op}@{self.name}", kind="call", db=self.name, op=op
         ):
-            return self._guarded_attempts(op, fn, ctx)
+            return self._guarded_attempts(op, fn, ctx, detail)
 
-    def _guarded_attempts(self, op: str, fn: Callable[[], T], ctx) -> T:
+    def _guarded_attempts(
+        self,
+        op: str,
+        fn: Callable[[], T],
+        ctx,
+        detail: Optional[str] = None,
+    ) -> T:
         """The guarded retry loop behind :meth:`_guarded`.
 
         An open circuit breaker fails the call fast with
@@ -232,7 +242,9 @@ class DBMSConnector:
                     if deadline is not None:
                         deadline.check(phase, detail=f"{op}@{self.name}")
                     if self.fault_injector is not None:
-                        self.fault_injector.before_call(self.name, op)
+                        self.fault_injector.before_call(
+                            self.name, op, detail
+                        )
                     self._check_timeout(op, deadline=deadline, phase=phase)
                     result = fn()
                 except RETRYABLE_ERRORS:
@@ -436,7 +448,7 @@ class DBMSConnector:
             self._control("metadata")
             return self.database.table_stats(name)
 
-        return self._guarded("metadata", call)
+        return self._guarded("metadata", call, detail=name)
 
     def table_schema(self, name: str) -> Optional[Schema]:
         """The *live* schema of one stored table (None when dropped).
@@ -453,7 +465,7 @@ class DBMSConnector:
                 return None
             return obj.schema
 
-        return self._guarded("metadata", call)
+        return self._guarded("metadata", call, detail=name)
 
     def list_objects(self, prefixes=()) -> List[Tuple[str, str]]:
         """(kind, name) of every catalog object matching ``prefixes``.
@@ -558,14 +570,14 @@ class DBMSConnector:
             self._control("delegation")
             return self.database.execute(sql)
 
-        return self._guarded("ddl", call)
+        return self._guarded("ddl", call, detail=sql)
 
     def execute_sql(self, sql: str) -> Result:
         def call() -> Result:
             self._control("delegation")
             return self.database.execute(sql)
 
-        return self._guarded("ddl", call)
+        return self._guarded("ddl", call, detail=sql)
 
     # -- execution / data movement ----------------------------------------------------
 
@@ -592,7 +604,19 @@ class DBMSConnector:
             )
             return result
 
-        return self._guarded("query", call)
+        return self._guarded(
+            "query", call, detail=self._injector_detail(query)
+        )
+
+    def _injector_detail(self, query: ast.Select) -> Optional[str]:
+        """Render a query payload for shard-scoped fault matching.
+
+        Only paid when an injector is installed — production runs skip
+        the render entirely.
+        """
+        if self.fault_injector is None:
+            return None
+        return render(query, self.database.dialect)
 
     def fetch(self, query: ast.Select, tag: str = "mediator-fetch") -> Result:
         """Fetch a subquery result into the middleware node (MW path)."""
@@ -611,7 +635,9 @@ class DBMSConnector:
             )
             return result
 
-        return self._guarded("fetch", call)
+        return self._guarded(
+            "fetch", call, detail=self._injector_detail(query)
+        )
 
     def push_rows(
         self,

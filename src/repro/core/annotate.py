@@ -247,7 +247,8 @@ class PlanAnnotator:
                 raise EngineUnavailableError(
                     f"every holder {holders} of table {scan.table!r} is "
                     "quarantined after unreconcilable schema drift; "
-                    "refresh the catalog to re-admit one"
+                    "refresh the catalog to re-admit one",
+                    table=scan.table,
                 )
             holders = admitted
         healthy = [db for db in holders if self._available(db)]
@@ -259,7 +260,8 @@ class PlanAnnotator:
                 if len(holders) == 1
                 else f"every holder {holders} of replicated table "
                 f"{scan.table!r} is unreachable; the query cannot be "
-                "answered until one recovers"
+                "answered until one recovers",
+                table=scan.table,
             )
         if len(healthy) == 1:
             return healthy[0]

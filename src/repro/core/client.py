@@ -157,7 +157,53 @@ class XDBReport:
             table = qerror_table(self.feedback)
             if table:
                 out += "\n" + table
+        resilience = self._branch_resilience_section()
+        if resilience:
+            out += "\n" + resilience
         return out
+
+    def _branch_resilience_section(self) -> str:
+        """Branch-level fault handling for EXPLAIN ANALYZE output.
+
+        Summarizes how the submission survived: branch-scoped repairs
+        (failover / re-route / partial degrade), whole-query repairs,
+        and speculative-execution (hedging) activity from the parallel
+        gather.  Empty when nothing happened — the section only shows
+        up on submissions that exercised a fault domain.
+        """
+        lines: List[str] = []
+        recovery = self.recovery
+        if recovery is not None:
+            for action, db, table in recovery.branch_events:
+                where = f"{db}.{table}" if table else db
+                lines.append(f"  branch {action}: {where}")
+            if recovery.repair_attempts:
+                repaired = ", ".join(recovery.repaired_dbs)
+                lines.append(
+                    f"  query repairs: {recovery.repair_attempts}"
+                    + (f" (around {repaired})" if repaired else "")
+                )
+            if recovery.partial:
+                missing = ", ".join(recovery.missing_partitions)
+                lines.append(
+                    f"  partial answer: {recovery.completeness:.1%} "
+                    f"complete (missing {missing})"
+                )
+        if self.context is not None:
+            metrics = self.context.metrics
+            launched = int(metrics.value("parallel.hedges_launched"))
+            if launched:
+                lines.append(
+                    f"  hedges: {launched} launched, "
+                    f"{int(metrics.value('parallel.hedges_won'))} won, "
+                    f"{int(metrics.value('parallel.hedges_wasted'))} wasted"
+                )
+            cancelled = int(metrics.value("parallel.branches_cancelled"))
+            if cancelled:
+                lines.append(f"  branches cancelled: {cancelled}")
+        if not lines:
+            return ""
+        return "branch resilience:\n" + "\n".join(lines)
 
     def to_chrome_trace(self) -> Dict[str, object]:
         """Chrome trace-event JSON for this submission's span tree."""
@@ -335,6 +381,12 @@ class XDB:
                     admission_sim_seconds=ctx.admission_sim_seconds,
                     admitted_engines=list(state.admitted_engines),
                 )
+                if state.recovery is not None and state.recovery.partial:
+                    qos_report.partial = True
+                    qos_report.completeness = state.recovery.completeness
+                    qos_report.missing_partitions = list(
+                        state.recovery.missing_partitions
+                    )
 
             resilience = ctx.resilience_summary(self.connectors)
             resilience.leaked_objects = self.ledger.leaked_count()

@@ -151,8 +151,18 @@ class DelegationEngine:
         self._ledger = ledger
         self._query_counter = ledger.max_epoch() if ledger else 0
 
-    def delegate(self, dplan: DelegationPlan) -> DeployedQuery:
-        """Deploy ``dplan``; returns the XDB query for the client."""
+    def delegate(
+        self, dplan: DelegationPlan, salvage: bool = False
+    ) -> DeployedQuery:
+        """Deploy ``dplan``; returns the XDB query for the client.
+
+        With ``salvage`` set, a mid-cascade failure keeps completed
+        explicit-edge ``xm_`` snapshots that live on engines *other*
+        than the dead one instead of rolling them back — the raised
+        :class:`DelegationError` reports them in ``salvaged`` so the
+        pipeline's branch-scoped recovery can pin and re-fence them
+        (the caller owns dropping them if it cannot).
+        """
         self._query_counter += 1
         epoch = self._query_counter
         query_id = f"{self._namespace}{epoch}"
@@ -202,10 +212,30 @@ class DelegationEngine:
             # When the cause is a dead engine, don't try to DROP the
             # objects created on it — every attempt would fail (or burn
             # the retry budget); mark them leaked for a later cleanup.
-            dead_db = (
-                exc.db if isinstance(exc, EngineUnavailableError) else None
+            # A *shard*-scoped outage (exc.table set) leaves the engine
+            # itself answering, so nothing is skipped.
+            shard = (
+                getattr(exc, "table", None)
+                if isinstance(exc, EngineUnavailableError)
+                else None
             )
-            rolled_back, leaked = self._rollback(created, skip_db=dead_db)
+            dead_db = (
+                exc.db
+                if isinstance(exc, EngineUnavailableError) and shard is None
+                else None
+            )
+            salvaged = (
+                self._salvageable(created, materializations, dead_db)
+                if salvage
+                else []
+            )
+            keep_set = {
+                (db, kind, name) for _tid, db, kind, name in salvaged
+            }
+            to_rollback = [obj for obj in created if obj not in keep_set]
+            rolled_back, leaked = self._rollback(
+                to_rollback, skip_db=dead_db
+            )
             self._settle_epoch(epoch, rolled_back, leaked)
             failed_db = ddl_log[-1][0] if ddl_log else None
             message = (
@@ -215,12 +245,22 @@ class DelegationEngine:
             )
             if leaked:
                 message += f", could not drop {len(leaked)} object(s)"
+            if salvaged:
+                message += (
+                    f", salvaged {len(salvaged)} completed snapshot(s)"
+                )
+                self._note(
+                    "salvage",
+                    count=len(salvaged),
+                    objects=",".join(name for _t, _d, _k, name in salvaged),
+                )
             raise DelegationError(
                 message,
                 ddl_log=ddl_log,
                 rolled_back=rolled_back,
                 leaked=leaked,
                 failed_db=failed_db,
+                salvaged=salvaged,
             ) from exc
 
         xdb_query = ast.Select(
@@ -240,6 +280,34 @@ class DelegationEngine:
             query_id=query_id,
             _connectors=self._connectors,
         )
+
+    @staticmethod
+    def _salvageable(
+        created: List[Tuple[str, str, str]],
+        materializations: List[Tuple[str, str, ast.CreateTableAs]],
+        dead_db: Optional[str],
+    ) -> List[Tuple[int, str, str, str]]:
+        """Completed ``xm_`` snapshots worth keeping through a rollback.
+
+        Only explicit-edge materializations whose CTAS finished (they
+        are in ``materializations``) and that live on a healthy engine
+        qualify; the producer task id is parsed back out of the
+        ``xm_{query_id}_{task_id}`` name so the pipeline can pin the
+        matching subtree.
+        """
+        finished = {(db, name) for db, name, _ctas in materializations}
+        out: List[Tuple[int, str, str, str]] = []
+        for db, kind, name in created:
+            if kind != "TABLE" or db == dead_db:
+                continue
+            if (db, name) not in finished:
+                continue
+            try:
+                task_id = int(name.rsplit("_", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            out.append((task_id, db, kind, name))
+        return out
 
     def _settle_epoch(
         self,

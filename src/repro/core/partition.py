@@ -389,6 +389,126 @@ def is_partition_table(name: str) -> bool:
     return bool(head) and tail.isdigit()
 
 
+def partition_parent(name: str) -> Optional[str]:
+    """The logical table a shard name belongs to (None for whole tables)."""
+    head, _, tail = name.rpartition(PARTITION_SUFFIX)
+    if head and tail.isdigit():
+        return head
+    return None
+
+
+# ---------------------------------------------------------------------------
+# partial results: pruning dead-shard branches
+# ---------------------------------------------------------------------------
+
+
+def prune_missing_shards(
+    plan: algebra.LogicalPlan, missing: Sequence[str]
+) -> Tuple[Optional[algebra.LogicalPlan], List[str]]:
+    """Drop gather branches whose data lives only on shards in ``missing``.
+
+    The inverse of :meth:`PartitionExpander._gather`, invoked when a
+    shard has lost every healthy holder and the query's QoS policy
+    allows a partial answer: each UNION ALL branch that scans a missing
+    shard is removed, and the union chain collapses around the
+    survivors.  A branch takes its *whole* subtree with it — in a
+    co-partitioned zip the sibling shard joined locally against the
+    missing one becomes unreachable too, and is reported alongside it.
+
+    Returns ``(pruned_plan, pruned_shards)`` where ``pruned_shards``
+    lists every partition-shard scan that fell out of the plan.  The
+    plan comes back ``None`` when the missing shards are load-bearing
+    outside any union (no partial answer is possible).
+    """
+    missing_lower = {name.lower() for name in missing}
+    pruned: List[str] = []
+
+    def collect(node: algebra.LogicalPlan) -> None:
+        for leaf in node.leaves():
+            if leaf.partition_of is not None and leaf.table not in pruned:
+                pruned.append(leaf.table)
+
+    def visit(node: algebra.LogicalPlan) -> Optional[algebra.LogicalPlan]:
+        if isinstance(node, algebra.Union):
+            left = visit(node.left)
+            right = visit(node.right)
+            if left is None and right is None:
+                return None
+            if left is None:
+                return right
+            if right is None:
+                return left
+            if left is node.left and right is node.right:
+                return node
+            return node.with_children([left, right])
+        if isinstance(node, algebra.Scan):
+            if node.table.lower() in missing_lower:
+                collect(node)
+                return None
+            return node
+        children = node.children()
+        if not children:
+            return node
+        new_children = [visit(child) for child in children]
+        if any(child is None for child in new_children):
+            # A required (non-union) input lost its shard: this whole
+            # subtree is unanswerable, so it is prunable only from an
+            # enclosing union — its surviving shard scans go with it.
+            for child in new_children:
+                if child is not None:
+                    collect(child)
+            return None
+        if all(new is old for new, old in zip(new_children, children)):
+            return node
+        return node.with_children(new_children)
+
+    return visit(plan), pruned
+
+
+def partition_completeness(
+    missing: Sequence[str],
+    spec_for: Callable[[str], Optional[PartitionSpec]],
+    rows_for: Callable[[str], Optional[int]],
+) -> float:
+    """Row-weighted completeness of an answer missing these shards.
+
+    For each affected logical table, the surviving fraction is
+    ``1 - rows(missing shards) / rows(all shards)`` using catalog row
+    counts via ``rows_for`` (falling back to a uniform shard-count
+    fraction when stats are unavailable); the answer's completeness is
+    the *minimum* across affected tables — the weakest link bounds how
+    much of the join result can still be produced.
+    """
+    grouped: dict = {}
+    for name in missing:
+        parent = partition_parent(name)
+        if parent is None:
+            continue
+        grouped.setdefault(parent.lower(), set()).add(name.lower())
+    fractions: List[float] = []
+    for parent, gone in grouped.items():
+        spec = spec_for(parent)
+        if spec is None:
+            fractions.append(0.0)
+            continue
+        total = 0.0
+        lost = 0.0
+        sized = True
+        for shard in spec.partition_names():
+            rows = rows_for(shard)
+            if rows is None:
+                sized = False
+                break
+            total += rows
+            if shard.lower() in gone:
+                lost += rows
+        if sized and total > 0:
+            fractions.append((total - lost) / total)
+        else:
+            fractions.append(1.0 - len(gone) / max(spec.partitions, 1))
+    return min(fractions) if fractions else 1.0
+
+
 def cross_shard_bytes(dplan) -> int:
     """Bytes moved on *repartition* edges of a delegation plan.
 

@@ -40,6 +40,11 @@ from repro.core.catalog import GlobalCatalog
 from repro.core.delegate import DelegationEngine, DeployedQuery
 from repro.core.finalize import PlanFinalizer
 from repro.core.logical import LogicalOptimizer
+from repro.core.partition import (
+    is_partition_table,
+    partition_completeness,
+    prune_missing_shards,
+)
 from repro.core.plan import DelegationPlan, Movement
 from repro.core.timing import (
     ScheduleResult,
@@ -132,10 +137,30 @@ class RecoveryReport:
     #: producer tasks whose materializations were pinned during
     #: adaptation (their snapshots were reused, not recomputed)
     pinned_tasks: List[int] = field(default_factory=list)
+    #: branch-scoped recoveries: a failed delegated task / union branch
+    #: was re-routed (or its shard quarantined) *in place*, with the
+    #: completed sibling snapshots pinned — no whole-query re-entry, so
+    #: these do NOT count toward :attr:`repair_attempts`
+    branch_repairs: int = 0
+    #: one ``(action, db, table)`` per branch repair, in order — action
+    #: is ``"failover"`` (shard re-routed to a surviving holder),
+    #: ``"reroute"`` (engine-level branch failure re-placed around the
+    #: outage), or ``"partial"`` (shard dropped under ``allow_partial``)
+    branch_events: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: True when the answer omits shards that lost every healthy holder
+    partial: bool = False
+    #: row-weighted fraction of the partitioned data the answer covers
+    completeness: float = 1.0
+    #: shard tables missing from a partial answer
+    missing_partitions: List[str] = field(default_factory=list)
 
     @property
     def repaired(self) -> bool:
         return self.repair_attempts > 0
+
+    @property
+    def branch_repaired(self) -> bool:
+        return self.branch_repairs > 0
 
     @property
     def drifted(self) -> bool:
@@ -155,9 +180,28 @@ class RecoveryReport:
         return diff
 
     def describe(self) -> str:
-        if not self.repaired and not self.drifted and not self.adapted:
+        if (
+            not self.repaired
+            and not self.drifted
+            and not self.adapted
+            and not self.branch_repaired
+            and not self.partial
+        ):
             return "no repair needed"
         parts = []
+        if self.branch_repaired:
+            events = ", ".join(
+                f"{action} {db + '.' if db else ''}{table or '?'}"
+                for action, db, table in self.branch_events
+            )
+            parts.append(
+                f"{self.branch_repairs} branch repair(s) ({events})"
+            )
+        if self.partial:
+            parts.append(
+                f"partial answer: {self.completeness:.1%} complete, "
+                f"missing {', '.join(self.missing_partitions)}"
+            )
         if self.repaired:
             moved = ", ".join(
                 f"{table}: {old}→{new}"
@@ -217,6 +261,10 @@ class PlanState:
     stage: str = "parse"
     #: remaining repair budget (outage / drift / adaptation re-entries)
     budget: int = 0
+    #: remaining *branch*-scoped recovery budget — spent on in-place
+    #: branch failover / shard quarantine / partial degradation, kept
+    #: separate so branch repairs never eat the whole-query budget
+    branch_budget: int = 0
     select: Optional[ast.Statement] = None
     logical_plan: Optional[algebra.LogicalPlan] = None
     annotation: Optional[Annotation] = None
@@ -254,6 +302,7 @@ class PlanPipeline:
         finalizer: PlanFinalizer,
         delegator: DelegationEngine,
         repair_budget: int = 2,
+        branch_repair_budget: int = 2,
         feedback: Optional[FeedbackStore] = None,
         adaptivity_threshold: Optional[float] = None,
         on_drift: Optional[Callable[[str, str], None]] = None,
@@ -266,6 +315,9 @@ class PlanPipeline:
         self.finalizer = finalizer
         self.delegator = delegator
         self.repair_budget = repair_budget
+        #: budget for branch-scoped recoveries (failover / partial),
+        #: spent independently of the whole-query ``repair_budget``
+        self.branch_repair_budget = branch_repair_budget
         #: the persistent Q-Error feedback store (None = loop disabled)
         self.feedback = feedback
         #: Q-Error above which a materialized task boundary triggers a
@@ -285,6 +337,7 @@ class PlanPipeline:
             query=query,
             label=self.label_of(query),
             budget=self.repair_budget if budget is None else budget,
+            branch_budget=self.branch_repair_budget,
         )
 
     @staticmethod
@@ -500,9 +553,23 @@ class PlanPipeline:
                                     deadline=ctx.deadline,
                                 )
                                 ctx.record_admission(lease)
+                        # Straggler hedging is pure overhead on a
+                        # saturated federation: the capacity probe here
+                        # decides whether the execution layer may launch
+                        # speculative duplicates at all.
+                        ctx.hedge_multiplier = (
+                            qos.hedge_multiplier if qos is not None else None
+                        )
+                        ctx.hedging_allowed = gate.allow_hedge(engines)
                         ctx.enter_phase("delegate")
                         with tracer.span("delegate", kind="step"):
-                            deployed = self.delegator.delegate(dplan)
+                            # With branch budget left, a mid-cascade
+                            # failure salvages the completed sibling
+                            # snapshots instead of rolling them back —
+                            # branch recovery pins them in place.
+                            deployed = self.delegator.delegate(
+                                dplan, salvage=state.branch_budget > 0
+                            )
                         state.deployed = deployed
                         if state.pending_keeps:
                             self._refence_keeps(state, deployed)
@@ -576,8 +643,23 @@ class PlanPipeline:
                             self.recover_drift(state, drift, tracer)
                             state.dplan = None
                             continue
+                        # Branch-scoped recovery first: a shard-level
+                        # fault (or an engine fault that left completed
+                        # sibling snapshots to pin) is repaired *in
+                        # place* — quarantine/re-route only the failed
+                        # branch, keep the finished work.  Falls through
+                        # to the whole-query repair when it cannot help.
+                        if self._branch_recover(
+                            state, exc, deployed, qos, tracer
+                        ):
+                            if repair_start is None:
+                                repair_start = (wall_now(), tracer.sim_now)
+                            deployed = None
+                            state.deployed = None
+                            continue
                         db = self.unavailable_db(exc)
                         if db is None or state.budget <= 0:
+                            self._abandon_salvage(state, exc, tracer)
                             raise
                         state.budget -= 1
                         recovery.repair_attempts += 1
@@ -595,6 +677,13 @@ class PlanPipeline:
                                 deployed.cleanup()
                             except ReproError:
                                 pass
+                        # Whole-query repair cannot reuse salvaged
+                        # snapshots or earlier pins (they may live on
+                        # the dead engine): drop them and rebuild the
+                        # plan from the source query.
+                        self._abandon_salvage(
+                            state, exc, tracer, skip_db=db
+                        )
                         state.dplan = None
                     except (
                         BindError,
@@ -920,6 +1009,338 @@ class PlanPipeline:
             if deployed.ledger is not None:
                 deployed.ledger.record(db, kind, name, deployed.epoch)
         state.pending_keeps = []
+
+    # -- branch-scoped fault domains ---------------------------------------
+
+    def _branch_recover(
+        self,
+        state: PlanState,
+        exc: BaseException,
+        deployed: Optional[DeployedQuery],
+        qos: Optional[QoSPolicy],
+        tracer,
+    ) -> bool:
+        """Repair a failed *branch* in place instead of the whole query.
+
+        Two failure domains below the query qualify:
+
+        * a **shard-scoped** fault (the error chain carries the struck
+          table): the one holder is quarantined — the engine's breaker
+          stays closed — and the branch re-routes to a surviving
+          replica holder on re-annotation; with no healthy holder left,
+          the query degrades to a policy-bounded **partial** answer;
+        * an **engine** fault that left completed sibling ``xm_``
+          snapshots behind: the siblings are pinned (executed work is
+          never redone) and only the failed branch re-plans around the
+          outage.
+
+        Salvaged snapshots ride in on the :class:`DelegationError` and
+        are pinned exactly like the adaptivity path's keeps.  Returns
+        True when the state was re-entered at ``annotate`` (the caller
+        loops); False hands the failure to the whole-query repair.
+        """
+        if state.branch_budget <= 0 or state.dplan is None:
+            return False
+        recovery = state.recovery
+        health = self.deployment.health
+        shard_db, shard = self._fault_shard(exc)
+        salvaged = self._salvage_of(exc)
+        if shard is not None:
+            if shard_db is not None and not self.catalog.is_quarantined(
+                shard_db, shard
+            ):
+                # The disk under one shard died, not the server: only
+                # that holder leaves placement, via quarantine — never
+                # the breaker.
+                self.catalog.quarantine(shard_db, shard)
+                recovery.quarantined.append((shard_db, shard))
+                health.report_shard_outage(
+                    shard_db, shard, "branch execution failed"
+                )
+                tracer.add_event(
+                    "shard-quarantine", db=shard_db, table=shard
+                )
+            healthy = [
+                db
+                for db in self.catalog.holders(shard)
+                if not self.catalog.is_quarantined(db, shard)
+                and self._holder_available(db)
+            ]
+            if healthy:
+                action = "failover"
+            elif self._try_partial(state, shard, qos, tracer):
+                action = "partial"
+            else:
+                return False
+            blamed = shard_db or ""
+        else:
+            # Engine-level failure: branch-local recovery only pays off
+            # when completed sibling snapshots exist to pin; otherwise
+            # the whole-query repair path does the identical work.
+            blamed = self.unavailable_db(exc)
+            if not salvaged or blamed is None:
+                return False
+            health.report_outage(blamed, "branch execution failed")
+            action = "reroute"
+        pinned = self._pin_salvage(state, salvaged)
+        if deployed is not None:
+            keep_set = set(state.pending_keeps)
+            deployed.created_objects[:] = [
+                obj
+                for obj in deployed.created_objects
+                if obj not in keep_set
+            ]
+            try:
+                deployed.cleanup()
+            except ReproError:
+                pass
+        state.branch_budget -= 1
+        recovery.branch_repairs += 1
+        recovery.branch_events.append((action, blamed, shard or ""))
+        tracer.add_event(
+            "branch-repair",
+            action=action,
+            db=blamed,
+            table=shard or "",
+            pinned=len(pinned),
+        )
+        state.dplan = None
+        state.stage = "annotate"
+        return True
+
+    def _try_partial(
+        self,
+        state: PlanState,
+        shard: str,
+        qos: Optional[QoSPolicy],
+        tracer,
+    ) -> bool:
+        """Degrade to a partial answer by pruning a dead shard's branch.
+
+        Opt-in via ``QoSPolicy.allow_partial``: when the shard has no
+        healthy holder left, its gather branches are pruned and the
+        row-weighted completeness (from catalog shard statistics) is
+        checked against the policy's ``completeness_floor``.  Returns
+        True when the plan was degraded in place.
+        """
+        if qos is None or not qos.allow_partial:
+            return False
+        if not is_partition_table(shard):
+            return False
+        plan, pruned = prune_missing_shards(state.logical_plan, [shard])
+        if plan is None or not pruned:
+            return False
+        recovery = state.recovery
+        missing = list(recovery.missing_partitions)
+        for name in pruned:
+            if name not in missing:
+                missing.append(name)
+        completeness = partition_completeness(
+            missing, self.catalog.partition_spec, self._shard_rows
+        )
+        if completeness < qos.completeness_floor:
+            tracer.add_event(
+                "partial-refused",
+                table=shard,
+                completeness=round(completeness, 4),
+                floor=qos.completeness_floor,
+            )
+            return False
+        estimator = CardinalityEstimator(
+            self.catalog.scan_stats, feedback=FeedbackOverlay(self.feedback)
+        )
+        _annotate_all(plan, estimator)
+        state.logical_plan = plan
+        recovery.partial = True
+        recovery.completeness = completeness
+        recovery.missing_partitions = missing
+        tracer.add_event(
+            "partial-degrade",
+            table=shard,
+            completeness=round(completeness, 4),
+            missing=len(missing),
+        )
+        return True
+
+    def _pin_salvage(self, state: PlanState, salvaged) -> List[int]:
+        """Pin salvaged ``xm_`` snapshots into the logical plan.
+
+        The branch-recovery twin of :meth:`_maybe_adapt`'s pinning:
+        each salvaged producer's subtree becomes a placeholder scan of
+        its existing snapshot, so re-delegation recomputes only the
+        failed branch.  Snapshots that cannot be pinned (producer
+        already covered by an ancestor's pin, or its output needed the
+        finalizer's dedup projection) are dropped best-effort instead
+        of leaking.
+        """
+        if not salvaged or state.dplan is None:
+            return []
+        dplan = state.dplan
+        plan = state.logical_plan
+        overlay = FeedbackOverlay(self.feedback)
+        keeps: List[Tuple[str, str, str]] = []
+        pinned_ids: List[int] = []
+        unusable: List[Tuple[str, str, str]] = []
+        for task_id, db, kind, name in salvaged:
+            producer = dplan.tasks.get(task_id)
+            src = producer.source_expr if producer is not None else None
+            usable = src is not None
+            if usable:
+                names = [f.name.lower() for f in src.schema]
+                usable = len(set(names)) == len(names)
+            if usable:
+                actual = None
+                for edge in dplan.edges:
+                    if edge.producer_id == task_id and edge.moved_rows:
+                        actual = float(edge.moved_rows)
+                        break
+                pinned = algebra.Scan(
+                    table=name,
+                    binding=f"xpin_{task_id}",
+                    schema=src.schema,
+                    source_db=db,
+                    placeholder=True,
+                    requalify=False,
+                )
+                pinned.estimated_rows = (
+                    actual
+                    if actual is not None
+                    else float(producer.estimated_rows or 1.0)
+                )
+                plan, replaced = _replace_subtree(plan, src, pinned)
+                usable = replaced
+                if replaced:
+                    keeps.append((db, "TABLE", name))
+                    pinned_ids.append(task_id)
+                    if actual is not None:
+                        overlay.pin(
+                            overlay.fingerprint_of(src), actual
+                        )
+            if not usable:
+                unusable.append((db, kind, name))
+        if unusable:
+            self._drop_objects(unusable)
+        if keeps:
+            estimator = CardinalityEstimator(
+                self.catalog.scan_stats, feedback=overlay
+            )
+            _annotate_all(plan, estimator)
+            state.logical_plan = plan
+            state.pending_keeps.extend(keeps)
+            state.recovery.pinned_tasks.extend(pinned_ids)
+        return pinned_ids
+
+    def _abandon_salvage(
+        self,
+        state: PlanState,
+        exc: BaseException,
+        tracer,
+        skip_db: Optional[str] = None,
+    ) -> None:
+        """Drop salvage the recovery path cannot use (best effort).
+
+        Whole-query repair (and final propagation) rebuilds the plan
+        from scratch, so salvaged snapshots and earlier pins would
+        otherwise leak under their closed epoch until the reaper finds
+        them.  ``skip_db`` marks an engine known to be down — its
+        objects are left for the reaper rather than burning the retry
+        budget.  Abandoning pins also rebuilds the logical plan from
+        the source query (re-applying any partial-answer pruning), so
+        placeholder scans of dropped snapshots cannot survive into the
+        next annotation round.
+        """
+        objects = [
+            (db, kind, name)
+            for _task_id, db, kind, name in self._salvage_of(exc)
+        ]
+        objects.extend(state.pending_keeps)
+        had_pins = bool(state.pending_keeps)
+        state.pending_keeps = []
+        if objects:
+            self._drop_objects(objects, skip_db=skip_db)
+            tracer.add_event("salvage-abandoned", objects=len(objects))
+        if had_pins and state.select is not None:
+            try:
+                state.logical_plan = self.optimizer.optimize(state.select)
+                if state.recovery.missing_partitions:
+                    plan, _ = prune_missing_shards(
+                        state.logical_plan,
+                        state.recovery.missing_partitions,
+                    )
+                    if plan is not None:
+                        estimator = CardinalityEstimator(
+                            self.catalog.scan_stats,
+                            feedback=FeedbackOverlay(self.feedback),
+                        )
+                        _annotate_all(plan, estimator)
+                        state.logical_plan = plan
+            except ReproError:
+                pass
+
+    def _drop_objects(
+        self,
+        objects: List[Tuple[str, str, str]],
+        skip_db: Optional[str] = None,
+    ) -> None:
+        """Best-effort DROPs, newest first; failures go to the reaper."""
+        for db, kind, name in reversed(list(objects)):
+            connector = self.connectors.get(db)
+            if connector is None or db == skip_db:
+                continue
+            try:
+                connector.execute_ddl(
+                    ast.DropObject(kind=kind, name=name, if_exists=True)
+                )
+            except ReproError:
+                pass
+
+    def _holder_available(self, db: str) -> bool:
+        connector = self.connectors.get(db)
+        return connector is not None and connector.is_available()
+
+    def _shard_rows(self, shard: str) -> Optional[int]:
+        """Catalog row count of one shard (any holder; None = unknown)."""
+        for db in self.catalog.holders(shard):
+            stats = self.catalog.stats_of(db, shard)
+            if stats is not None and stats.row_count is not None:
+                return int(stats.row_count)
+        return None
+
+    @staticmethod
+    def _fault_shard(
+        exc: BaseException,
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """The (db, table) a shard-scoped outage blames, if any.
+
+        Walks the cause chain like :meth:`unavailable_db`; ``db`` may
+        be None (annotation found no healthy holder at all) while
+        ``table`` still names the shard.
+        """
+        seen = set()
+        node: Optional[BaseException] = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if (
+                isinstance(node, EngineUnavailableError)
+                and node.table is not None
+            ):
+                return node.db, node.table
+            node = node.__cause__ or node.__context__
+        return None, None
+
+    @staticmethod
+    def _salvage_of(
+        exc: BaseException,
+    ) -> List[Tuple[int, str, str, str]]:
+        """Salvaged snapshots riding on a delegation failure's chain."""
+        seen = set()
+        node: Optional[BaseException] = exc
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if isinstance(node, DelegationError) and node.salvaged:
+                return list(node.salvaged)
+            node = node.__cause__ or node.__context__
+        return []
 
     # -- shared helpers ----------------------------------------------------
 

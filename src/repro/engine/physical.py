@@ -17,9 +17,10 @@ contract and its one batch-granularity caveat under LIMIT).
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.parallel import WorkerPool
+from repro.engine.parallel import HedgePolicy, WorkerPool, check_cancelled
 from repro.engine.vector import (
     BATCH_SIZE,
     ColumnBatch,
@@ -107,6 +108,29 @@ class PhysicalPlan:
         yield self
         for child in self.children():
             yield from child.walk()
+
+    def clone(self) -> "PhysicalPlan":
+        """A structural copy with fresh row counters.
+
+        Hedged execution re-runs a branch concurrently with its
+        primary; the two runs must not share operator objects or the
+        interleaved ``rows_out`` increments would corrupt both counts.
+        Operator nodes are copied (recursively, through lists of
+        children too); borrowed row storage and compiled kernels are
+        shared — they are read-only during execution.
+        """
+        dup = copy.copy(self)
+        dup.rows_out = 0
+        for key, value in list(dup.__dict__.items()):
+            if isinstance(value, PhysicalPlan):
+                setattr(dup, key, value.clone())
+            elif (
+                isinstance(value, list)
+                and value
+                and all(isinstance(item, PhysicalPlan) for item in value)
+            ):
+                setattr(dup, key, [item.clone() for item in value])
+        return dup
 
 
 class SeqScan(PhysicalPlan):
@@ -817,27 +841,67 @@ class ParallelUnionAllOp(PhysicalPlan):
             f"{self.workers} workers]"
         )
 
+    def _hedge_policy(self, ctx, produce) -> Optional[HedgePolicy]:
+        """Speculative-duplicate policy for straggling branches.
+
+        Enabled when the QoS policy set a hedge multiplier and the
+        workload gate saw spare capacity at admission.  A hedge runs a
+        *clone* of the straggling branch so the duplicate's row
+        counters never interleave with the primary's.
+        """
+        multiplier = getattr(ctx, "hedge_multiplier", None) if ctx else None
+        if (
+            multiplier is None
+            or not getattr(ctx, "hedging_allowed", True)
+            or len(self.branches) < 2
+        ):
+            return None
+        return HedgePolicy(
+            multiplier=float(multiplier),
+            factory=lambda index: (
+                lambda: produce(self.branches[index].clone())
+            ),
+        )
+
     def _gather(self, produce):
+        ctx = current_context()
         pool = WorkerPool(self.workers)
         outcomes = pool.map(
             [
                 (lambda branch=branch: produce(branch))
                 for branch in self.branches
             ],
-            context=current_context(),
+            context=ctx,
+            hedge=self._hedge_policy(ctx, produce),
         )
         self.branch_busy_seconds = [
             outcome.busy_seconds for outcome in outcomes
         ]
         return [outcome.value for outcome in outcomes]
 
+    @staticmethod
+    def _drain(stream, stride: int = 256) -> list:
+        """Materialize a branch stream with cooperative cancel points.
+
+        A hedged loser keeps its worker thread until it notices the
+        cancel; polling every ``stride`` items keeps that window small
+        without measurably taxing the hot loop."""
+        out: List[object] = []
+        for count, item in enumerate(stream):
+            if count % stride == 0:
+                check_cancelled()
+            out.append(item)
+        return out
+
     def _produce(self) -> Iterator[tuple]:
-        for chunk in self._gather(lambda branch: list(branch.rows())):
+        for chunk in self._gather(lambda branch: self._drain(branch.rows())):
             yield from chunk
 
     def _produce_batches(self, hint: Optional[int]) -> Iterator[ColumnBatch]:
         remaining = hint
-        for chunk in self._gather(lambda branch: list(branch.batches())):
+        for chunk in self._gather(
+            lambda branch: self._drain(branch.batches(), stride=4)
+        ):
             for batch in chunk:
                 if remaining is not None:
                     batch = batch.head(remaining)

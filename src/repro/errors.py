@@ -73,12 +73,20 @@ class EngineUnavailableError(ConnectorError):
     client's plan-repair loop uses it to record the outage in the
     health registry and re-plan around that engine; ``db=None`` marks
     an unrepairable condition (e.g. every holder of a table is down).
+
+    ``table`` narrows the fault domain below the engine: a
+    shard-scoped outage (only ``orders__p3`` is unreachable, the rest
+    of the engine answers) names the struck table so branch-scoped
+    recovery can quarantine exactly that (db, table) holder instead of
+    tripping the whole engine's breaker.
     """
 
-    def __init__(self, message: str, db=None):
+    def __init__(self, message: str, db=None, table=None):
         super().__init__(message)
         #: the unavailable DBMS, when a single engine can be blamed
         self.db = db
+        #: the struck table for shard-scoped faults (None = whole engine)
+        self.table = table
 
 
 class CircuitOpenError(EngineUnavailableError):
@@ -180,6 +188,12 @@ class DelegationError(ReproError):
     the deploy-or-rollback pass (``rolled_back``), and any objects the
     rollback itself could not remove (``leaked`` — empty in the normal
     case).
+
+    Branch-scoped recovery (PR 11) adds a salvage channel: completed
+    explicit-edge ``xm_`` snapshots living on *healthy* engines survive
+    the rollback and are reported in ``salvaged`` as
+    ``(task_id, db, "TABLE", name)`` so the pipeline can pin them as
+    placeholder scans and re-delegate only the failed branch.
     """
 
     def __init__(
@@ -189,6 +203,7 @@ class DelegationError(ReproError):
         rolled_back=None,
         leaked=None,
         failed_db=None,
+        salvaged=None,
     ):
         super().__init__(message)
         #: (db, rendered DDL) executed before the failure
@@ -199,6 +214,8 @@ class DelegationError(ReproError):
         self.leaked = list(leaked) if leaked else []
         #: the DBMS whose statement failed, when known
         self.failed_db = failed_db
+        #: (task_id, db, kind, name) completed snapshots kept for reuse
+        self.salvaged = list(salvaged) if salvaged else []
 
 
 class DeadlineExceeded(ReproError):

@@ -11,11 +11,28 @@ errors the resilience layer must absorb.
 from __future__ import annotations
 
 import random
+import re
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EngineUnavailableError, TransientConnectorError
 from repro.faults.policy import FaultPolicy
+
+
+def _references_table(detail: Optional[str], table: str) -> bool:
+    """Whether a call payload mentions ``table`` as a whole identifier.
+
+    Word-bounded so shard names stay distinct (``orders__p3`` must not
+    match a call touching ``orders__p30``).
+    """
+    if not detail:
+        return False
+    return (
+        re.search(
+            rf"\b{re.escape(table)}\b", detail, flags=re.IGNORECASE
+        )
+        is not None
+    )
 
 
 class FaultInjector:
@@ -29,6 +46,8 @@ class FaultInjector:
         self._lock = threading.Lock()
         #: guarded calls seen per DBMS (attempts, including retries)
         self.calls_by_db: Dict[str, int] = {}
+        #: matching calls per shard-scoped outage, keyed (db, table)
+        self.calls_by_shard: Dict[Tuple[str, str], int] = {}
         #: matching-call counters per scripted fault (by index)
         self._script_hits: List[int] = [0] * len(policy.scripted)
         #: injected transient errors (for reporting)
@@ -97,16 +116,34 @@ class FaultInjector:
 
         A probe: consumes neither the call counter nor the RNG, so the
         annotator can test availability without perturbing the fault
-        schedule.
+        schedule.  Shard-scoped outages do not count — they strike one
+        table, not the engine.
         """
         outage = self._outage_for(db)
         if outage is None:
             return False
         return outage.down_at(self.calls_by_db.get(db, 0) + 1)
 
+    def shard_down(self, db: str, table: str) -> bool:
+        """Whether the next call touching ``db.table`` would be struck.
+
+        The shard-level twin of :meth:`engine_down`, equally
+        non-consuming.
+        """
+        for outage in self.policy.outages:
+            if (
+                outage.db == db
+                and outage.table is not None
+                and outage.table.lower() == table.lower()
+            ):
+                key = (db, outage.table.lower())
+                if outage.down_at(self.calls_by_shard.get(key, 0) + 1):
+                    return True
+        return False
+
     def _outage_for(self, db: str):
         for outage in self.policy.outages:
-            if outage.db == db:
+            if outage.db == db and outage.table is None:
                 return outage
         return None
 
@@ -122,15 +159,42 @@ class FaultInjector:
 
     # -- the injection point -------------------------------------------
 
-    def before_call(self, db: str, op: str) -> None:
+    def before_call(self, db: str, op: str, detail: Optional[str] = None) -> None:
         """Called by the connector ahead of every guarded attempt.
 
         Raises the injected fault, if any; otherwise returns and the
-        real call proceeds.
+        real call proceeds.  ``detail`` is the call's payload when the
+        connector has one (rendered DDL, query text, a table name) —
+        shard-scoped outages match against it.
         """
         with self._lock:
             count = self.calls_by_db.get(db, 0) + 1
             self.calls_by_db[db] = count
+
+            # Shard-scoped outages first: they consume their own
+            # matching-call counters and never touch the engine-wide
+            # schedule, so composing them with whole-engine faults
+            # stays deterministic.
+            for outage in self.policy.outages:
+                if (
+                    outage.db != db
+                    or outage.table is None
+                    or not _references_table(detail, outage.table)
+                ):
+                    continue
+                key = (db, outage.table.lower())
+                shard_count = self.calls_by_shard.get(key, 0) + 1
+                self.calls_by_shard[key] = shard_count
+                if outage.down_at(shard_count):
+                    self.injected_outage_rejections += 1
+                    raise EngineUnavailableError(
+                        f"injected shard outage: {outage.table!r} on "
+                        f"DBMS {db!r} is unreachable (matching call "
+                        f"{shard_count}, outage after "
+                        f"{outage.after_calls})",
+                        db=db,
+                        table=outage.table,
+                    )
 
             # Schema drifts fire once, when their target engine's call
             # counter passes the trigger — the mutation lands *before*

@@ -42,11 +42,20 @@ class EngineOutage:
     following ``duration_calls`` attempts fail with
     :class:`EngineUnavailableError` (``None`` = the engine never comes
     back while the injector is installed).
+
+    ``table`` narrows the outage to a single relation (typically one
+    partition shard, ``orders__p3``): only guarded calls whose payload
+    references that table are struck, counted in *matching* calls, and
+    the raised error carries ``table`` so recovery can quarantine the
+    one holder instead of tripping the engine's breaker.  The rest of
+    the engine keeps answering — the disk holding one shard died, not
+    the server.
     """
 
     db: str
     after_calls: int = 0
     duration_calls: Optional[int] = None
+    table: Optional[str] = None
 
     def down_at(self, call_index: int) -> bool:
         """Whether the ``call_index``-th (1-based) call hits the outage."""

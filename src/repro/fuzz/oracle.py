@@ -1,7 +1,7 @@
 """Fuzz oracles: round-trip, differential execution, pushdown,
-drift-recovery, partition and feedback parity.
+drift-recovery, partition, feedback, and partial-result parity.
 
-Six invariants, each cheap to state and brutal to uphold:
+Seven invariants, each cheap to state and brutal to uphold:
 
 1. **Round-trip**: for every dialect, ``render(stmt)`` must parse back
    to the same AST (modulo the recorded surface ``syntax``) and a
@@ -32,6 +32,11 @@ Six invariants, each cheap to state and brutal to uphold:
    (optionally) mid-query adaptivity must return byte-identical rows
    to a feedback-free oracle client, on both the cold and the warmed
    submission.
+7. **Partial-result parity**: when a shard dies with no replica and
+   the policy allows partial answers, the degraded result is a
+   row-multiset *subset* of the fault-free oracle, and the reported
+   completeness is exactly the row-weighted fraction implied by the
+   reported missing partitions (never below the policy floor).
 """
 
 from __future__ import annotations
@@ -434,6 +439,122 @@ def check_partition(spec: Dict[str, object]) -> List[str]:
     return []
 
 
+# -- partial-result parity ---------------------------------------------------
+
+
+def check_partial(spec: Dict[str, object]) -> List[str]:
+    """Policy-bounded partial answers vs the fault-free oracle.
+
+    One shard of the partitioned fuzz deployment dies (shard-scoped
+    outage, no replica); an ``allow_partial`` submission must then:
+
+    * return a row-*multiset subset* of the fault-free oracle's rows —
+      a partial answer may drop rows, never invent or duplicate them;
+    * report ``completeness`` in ``(0, 1]`` that is exactly the
+      row-weighted surviving fraction implied by its own
+      ``missing_partitions`` (and no lower than the policy's floor);
+    * quarantine only the struck holder — the engine-level breaker
+      stays closed.
+
+    Specs must not use LIMIT (it changes *which* rows survive, so the
+    subset comparison would be vacuous).
+    """
+    from collections import Counter
+
+    from repro.core.partition import partition_completeness, partition_name
+    from repro.faults import EngineOutage, FaultInjector, FaultPolicy
+    from repro.qos import QoSPolicy
+
+    qspec = dict(spec["query"])
+    if qspec.get("limit") is not None:
+        return ["partial specs must not carry LIMIT"]
+    select = query_statement(qspec)
+    sql = dialect_for("postgres").render(select)
+    count = int(spec["partitions"])
+    by_db = [f"p{index % 4 + 1}" for index in range(count)]
+    dead = int(spec["dead_shard"]) % count
+    shard = partition_name("t1", dead)
+    holder = by_db[dead]
+    floor = float(spec.get("completeness_floor", 0.0))
+
+    try:
+        oracle = XDB(_parity_deployment(spec, True)).submit(sql)
+    except Exception as exc:
+        return [f"partial oracle baseline failed: {exc!r} for {sql!r}"]
+
+    deployment = _parity_deployment(spec, True)
+    xdb = XDB(deployment)
+    try:
+        xdb.warm_metadata()
+        with FaultInjector(
+            FaultPolicy(outages=(EngineOutage(db=holder, table=shard),))
+        ).install(deployment):
+            report = xdb.submit(
+                sql,
+                qos=QoSPolicy(
+                    allow_partial=True, completeness_floor=floor
+                ),
+            )
+    except Exception as exc:
+        return [
+            f"partial submission failed ({holder}/{shard}): {exc!r} "
+            f"for {sql!r}"
+        ]
+
+    failures: List[str] = []
+    recovery = report.recovery
+    got = Counter(_canonical(report.result.rows))
+    want = Counter(_canonical(oracle.result.rows))
+    extra = got - want
+    if extra:
+        failures.append(
+            f"partial answer is not a subset of the fault-free oracle: "
+            f"{sum(extra.values())} extra rows for {sql!r}"
+        )
+    if not recovery.partial:
+        failures.append(
+            f"partial degrade never engaged under a dead shard "
+            f"({holder}/{shard}) for {sql!r}"
+        )
+        return failures
+    if not recovery.missing_partitions:
+        failures.append(
+            f"partial answer reports no missing partitions for {sql!r}"
+        )
+    if not (0.0 < recovery.completeness <= 1.0):
+        failures.append(
+            f"completeness {recovery.completeness} outside (0, 1] "
+            f"for {sql!r}"
+        )
+    if recovery.completeness < floor:
+        failures.append(
+            f"completeness {recovery.completeness} below the policy "
+            f"floor {floor} for {sql!r}"
+        )
+    implied = partition_completeness(
+        recovery.missing_partitions,
+        xdb.catalog.partition_spec,
+        xdb.pipeline._shard_rows,
+    )
+    if abs(recovery.completeness - implied) > 1e-9:
+        failures.append(
+            f"completeness {recovery.completeness} inconsistent with "
+            f"missing partitions {recovery.missing_partitions} "
+            f"(implied {implied}) for {sql!r}"
+        )
+    if not xdb.catalog.is_quarantined(holder, shard):
+        failures.append(
+            f"struck holder {holder}/{shard} was not quarantined "
+            f"for {sql!r}"
+        )
+    if deployment.health.is_open(holder):
+        failures.append(
+            f"shard-scoped fault tripped the engine breaker on "
+            f"{holder!r} for {sql!r}"
+        )
+    return failures
+
+
 # -- feedback parity ---------------------------------------------------------
 
 
@@ -520,6 +641,8 @@ def run_case(spec: Dict[str, object]) -> List[str]:
         return check_drift(spec)
     if kind == "partition":
         return check_partition(spec)
+    if kind == "partial":
+        return check_partial(spec)
     if kind == "feedback":
         return check_feedback(spec)
     try:

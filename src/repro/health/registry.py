@@ -226,6 +226,10 @@ class HealthRegistry:
         self.breakers: Dict[str, CircuitBreaker] = {}
         #: every state transition, in order (sliced by report windows)
         self.events: List[BreakerEvent] = []
+        #: shard-scoped outage observations keyed ``(db, table)`` — the
+        #: engine stayed healthy, one relation on it did not, so these
+        #: never feed a breaker's failure streak
+        self.shard_outages: Dict[tuple, int] = {}
         # Breakers are driven from concurrent client threads under the
         # overload benchmark; one reentrant lock serializes every
         # state-machine step (gate + outcome + clock tick).
@@ -297,6 +301,22 @@ class HealthRegistry:
         with self._lock:
             self.breaker(db).trip(reason)
 
+    def report_shard_outage(
+        self, db: str, table: str, reason: str = "shard unreachable"
+    ) -> None:
+        """Note a *shard-scoped* outage on ``db`` without tripping it.
+
+        The failure domain is one relation (a dead disk under a single
+        partition shard), not the engine: the breaker must stay closed
+        so the rest of the engine keeps serving, while placement-level
+        avoidance is handled by the catalog's quarantine.  Recorded
+        here purely for observability (counters; the breaker's own
+        failure streak is untouched).
+        """
+        with self._lock:
+            key = (db, table.lower())
+            self.shard_outages[key] = self.shard_outages.get(key, 0) + 1
+
     def finish_probe(self, db: str) -> None:
         """Release ``db``'s probe slot if the probe never recorded an
         outcome (the guarded call aborted before reaching the engine)."""
@@ -306,10 +326,12 @@ class HealthRegistry:
     # -- observability -------------------------------------------------
 
     def describe(self) -> str:
-        if not self.breakers:
+        if not self.breakers and not self.shard_outages:
             return "health: no breakers"
         parts = [
             f"{name}={breaker.state}"
             for name, breaker in sorted(self.breakers.items())
         ]
+        for (db, table), count in sorted(self.shard_outages.items()):
+            parts.append(f"{db}.{table}=shard-outage×{count}")
         return "health: " + " ".join(parts)

@@ -50,6 +50,20 @@ class QoSPolicy:
     #: opt-in staleness bound for degraded (snapshot) answers; None
     #: means the query insists on authoritative data
     max_staleness_seconds: Optional[float] = None
+    #: opt-in *partial results*: when a partition shard has lost every
+    #: healthy holder, answer from the surviving shards instead of
+    #: failing, provided the row-weighted completeness stays at or
+    #: above ``completeness_floor``
+    allow_partial: bool = False
+    #: minimum acceptable completeness (fraction of partitioned rows
+    #: still reachable) for a partial answer; only consulted when
+    #: ``allow_partial`` is set
+    completeness_floor: float = 0.0
+    #: opt-in straggler hedging: a parallel-union branch running longer
+    #: than ``hedge_multiplier`` × the median of its finished siblings
+    #: gets a speculative duplicate; first result wins, the loser is
+    #: cooperatively cancelled.  None disables hedging.
+    hedge_multiplier: Optional[float] = None
 
     def make_deadline(self) -> Optional[Deadline]:
         """Build this policy's :class:`Deadline` (None without one)."""
@@ -84,6 +98,14 @@ class QoSReport:
     staleness_seconds: Optional[float] = None
     #: why the read degraded: "overload", "breaker-open", or "drift"
     stale_reason: str = ""
+    #: True when the answer omits partition shards that lost every
+    #: healthy holder (policy-bounded degradation, ``allow_partial``)
+    partial: bool = False
+    #: row-weighted fraction of the partitioned data the answer covers
+    #: (1.0 for a complete answer)
+    completeness: float = 1.0
+    #: shard tables the partial answer is missing
+    missing_partitions: List[str] = field(default_factory=list)
 
     def describe(self) -> str:
         parts = [f"priority={self.priority}"]
@@ -101,5 +123,12 @@ class QoSReport:
             reason = f", {self.stale_reason}" if self.stale_reason else ""
             parts.append(
                 f"stale read ({self.staleness_seconds:.3f}s behind{reason})"
+            )
+        if self.partial:
+            missing = ", ".join(self.missing_partitions)
+            parts.append(
+                f"partial answer ({self.completeness:.1%} complete"
+                + (f"; missing {missing}" if missing else "")
+                + ")"
             )
         return ", ".join(parts)

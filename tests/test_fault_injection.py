@@ -314,6 +314,115 @@ def test_partitioned_link_is_retryable_and_heals(two_db_deployment):
     assert len(connector.execute_sql("SELECT user_id FROM events")) > 0
 
 
+# -- shard-scoped outages (fault × partition composition) ----------------
+
+
+def build_partitioned():
+    from repro.core.partition import partition_name
+
+    dep = Deployment({"A": "postgres", "B": "postgres"})
+    dep.load_table(
+        "A",
+        "orders",
+        Schema([Field("o_orderkey", INTEGER), Field("o_custkey", INTEGER)]),
+        [(i, i % 7) for i in range(40)],
+    )
+    dep.partition_table("orders", "o_orderkey", ["A", "B"])
+    dep.load_table(
+        "A",
+        "misc",
+        Schema([Field("id", INTEGER)]),
+        [(1,), (2,)],
+    )
+    return dep, partition_name("orders", 0)
+
+
+def test_shard_outage_strikes_only_matching_calls():
+    """A shard-scoped outage is a dead disk, not a dead server: calls
+    whose payload references the shard fail with the shard attached;
+    everything else on the engine keeps answering."""
+    dep, shard = build_partitioned()
+    connector = dep.connector("A")
+    set_retry_policy(dep, RetryPolicy(max_attempts=1))
+    injector = FaultInjector(
+        FaultPolicy(outages=(EngineOutage(db="A", table=shard),))
+    ).install(dep)
+    try:
+        # Non-matching payloads pass straight through.
+        assert len(connector.execute_sql("SELECT id FROM misc")) == 2
+        with pytest.raises(EngineUnavailableError) as err:
+            connector.execute_sql(f"SELECT o_orderkey FROM {shard}")
+        assert err.value.table == shard
+        assert err.value.db == "A"
+        # Only matching calls consumed the shard counter.
+        assert injector.calls_by_shard == {("A", shard): 1}
+        assert injector.shard_down("A", shard)
+        assert not injector.shard_down("B", shard)
+        # The engine is still available: the outage is below engine level.
+        assert connector.is_available()
+    finally:
+        injector.uninstall()
+        set_retry_policy(dep, RetryPolicy())
+
+
+def test_shard_outage_composes_with_partitioned_query():
+    """Composition: a partitioned gather under a shard-scoped outage
+    quarantines exactly one holder and degrades to a policy-bounded
+    partial answer; sibling shards keep serving."""
+    from repro.qos import QoSPolicy
+
+    dep, shard = build_partitioned()
+    xdb = XDB(dep)
+    xdb.warm_metadata()
+    sql = "SELECT o_orderkey, o_custkey FROM orders ORDER BY o_orderkey"
+    truth = {tuple(row) for row in xdb.submit(sql).result.rows}
+
+    with FaultInjector(
+        FaultPolicy(outages=(EngineOutage(db="A", table=shard),))
+    ).install(dep) as injector:
+        report = xdb.submit(
+            sql, qos=QoSPolicy(allow_partial=True, completeness_floor=0.0)
+        )
+    assert injector.calls_by_shard
+    got = {tuple(row) for row in report.result.rows}
+    assert got < truth  # a strict row-subset of the fault-free oracle
+    assert report.recovery.partial
+    assert report.recovery.missing_partitions == [shard]
+    assert 0.0 < report.recovery.completeness < 1.0
+    # Only the struck holder is quarantined; the sibling still serves.
+    assert xdb.catalog.is_quarantined("A", shard)
+    from repro.core.partition import partition_name
+
+    assert not xdb.catalog.is_quarantined("B", partition_name("orders", 1))
+    # The engine-level breaker never tripped for a shard fault.
+    assert not dep.health.is_open("A")
+
+
+def test_shard_outage_window_expires_like_engine_outage():
+    dep, shard = build_partitioned()
+    connector = dep.connector("A")
+    set_retry_policy(dep, RetryPolicy(max_attempts=1))
+    injector = FaultInjector(
+        FaultPolicy(
+            outages=(
+                EngineOutage(
+                    db="A", table=shard, after_calls=1, duration_calls=1
+                ),
+            )
+        )
+    ).install(dep)
+    try:
+        probe = f"SELECT o_orderkey FROM {shard}"
+        assert connector.execute_sql(probe) is not None  # call 1: before
+        with pytest.raises(EngineUnavailableError):
+            connector.execute_sql(probe)  # call 2: inside the window
+        assert connector.execute_sql(probe) is not None  # call 3: after
+        assert injector.calls_by_shard == {("A", shard): 3}
+    finally:
+        injector.uninstall()
+        set_retry_policy(dep, RetryPolicy())
+
+
 # -- DeployedQuery hardening ---------------------------------------------
 
 
